@@ -1,0 +1,38 @@
+// §6.1 claim check: "Only the results of synchronous training is shown as we
+// find the training speedup of asynchronous mode is similar." Compares the
+// ByteScheduler speed-up under synchronous and asynchronous PS training.
+#include <cstdio>
+#include <iostream>
+
+#include "bench/harness.h"
+#include "src/common/table.h"
+#include "src/model/zoo.h"
+
+using namespace bsched;
+
+namespace {
+
+double Gain(const ModelProfile& model, bool async_mode) {
+  JobConfig job = bench::MakeJob(model, Setup::MxnetPsRdma(), 4, Bandwidth::Gbps(100));
+  job.ps_async = async_mode;
+  const double baseline = bench::RunSpeed(bench::WithMode(job, SchedMode::kVanilla));
+  const double sched = bench::RunSpeed(bench::WithMode(job, SchedMode::kByteScheduler));
+  return 100.0 * (sched / baseline - 1.0);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Asynchronous PS (sec. 6.1): ByteScheduler speedup, sync vs async training\n"
+              "(MXNet PS RDMA, 32 GPUs, 100 Gbps)\n\n");
+  Table table({"model", "sync speedup", "async speedup"});
+  for (const auto& model : {Vgg16(), ResNet50(), Transformer()}) {
+    table.AddRow({model.name, Table::Num(Gain(model, false), 1) + "%",
+                  Table::Num(Gain(model, true), 1) + "%"});
+  }
+  table.RenderAscii(std::cout);
+  std::printf("\nExpected shape: clearly positive speedups in both modes. In this substrate\n"
+              "async gains are smaller than sync gains because the async baseline already\n"
+              "avoids aggregation stalls; the paper reports the two as similar.\n");
+  return 0;
+}

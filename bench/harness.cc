@@ -1,0 +1,88 @@
+#include "bench/harness.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+
+namespace bsched {
+namespace bench {
+
+std::vector<Setup> PaperSetups() {
+  return {Setup::MxnetPsTcp(), Setup::MxnetPsRdma(), Setup::TensorFlowPsTcp(),
+          Setup::MxnetNcclRdma(), Setup::PyTorchNcclTcp()};
+}
+
+JobConfig MakeJob(const ModelProfile& model, const Setup& setup, int num_machines,
+                  Bandwidth bandwidth) {
+  JobConfig job;
+  job.model = model;
+  job.setup = setup;
+  job.num_machines = num_machines;
+  job.gpus_per_machine = kGpusPerMachine;
+  job.bandwidth = bandwidth;
+  job.warmup_iters = 2;
+  job.measure_iters = 5;
+  return job;
+}
+
+JobConfig WithMode(JobConfig job, SchedMode mode) {
+  job.mode = mode;
+  if (mode == SchedMode::kByteScheduler) {
+    const TunedParams tuned =
+        DefaultTunedParams(job.model, job.setup.arch, job.setup.transport, job.bandwidth);
+    job.partition_bytes = tuned.partition_bytes;
+    job.credit_bytes = tuned.credit_bytes;
+  }
+  return job;
+}
+
+double RunSpeed(const JobConfig& job) { return RunTrainingJob(job).samples_per_sec; }
+
+std::string GainPercent(double sched, double baseline) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%+.1f%%", 100.0 * (sched / baseline - 1.0));
+  return buf;
+}
+
+void PrintScalingFigure(const std::string& title, const ModelProfile& model, bool include_p3) {
+  std::printf("%s\n", title.c_str());
+  std::printf("speed unit: %s/sec; per-GPU batch %d; 100 Gbps fabric\n\n", model.sample_unit.c_str(),
+              model.batch_per_gpu);
+  for (const Setup& setup : PaperSetups()) {
+    const bool p3_pane = include_p3 && setup.name == Setup::MxnetPsTcp().name;
+    std::vector<std::string> header = {"#GPUs", "baseline", "bytescheduler"};
+    if (p3_pane) {
+      header.push_back("p3");
+    }
+    header.push_back("linear");
+    header.push_back("speedup");
+    Table table(std::move(header));
+    double min_gain = 1e300;
+    double max_gain = -1e300;
+    for (int gpus : kGpuCounts) {
+      const int machines = gpus / kGpusPerMachine;
+      JobConfig base = MakeJob(model, setup, machines, Bandwidth::Gbps(100));
+      const double baseline = RunSpeed(WithMode(base, SchedMode::kVanilla));
+      const double sched = RunSpeed(WithMode(base, SchedMode::kByteScheduler));
+      const double linear = PaperLinearScaling(WithMode(base, SchedMode::kVanilla));
+      const double gain = sched / baseline - 1.0;
+      min_gain = std::min(min_gain, gain);
+      max_gain = std::max(max_gain, gain);
+      std::vector<std::string> row = {std::to_string(gpus), Table::Num(baseline, 0),
+                                      Table::Num(sched, 0)};
+      if (p3_pane) {
+        row.push_back(Table::Num(RunSpeed(WithMode(base, SchedMode::kP3)), 0));
+      }
+      row.push_back(Table::Num(linear, 0));
+      row.push_back(GainPercent(sched, baseline));
+      table.AddRow(std::move(row));
+    }
+    std::printf("-- %s (speedup %0.0f%%-%0.0f%%) --\n", setup.name.c_str(), 100 * min_gain,
+                100 * max_gain);
+    table.RenderAscii(std::cout);
+    std::printf("\n");
+  }
+}
+
+}  // namespace bench
+}  // namespace bsched

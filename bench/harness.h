@@ -1,0 +1,44 @@
+// Shared helpers for the figure-regeneration benchmarks: each bench binary
+// prints the rows/series of one table or figure from the paper's evaluation.
+#ifndef BENCH_HARNESS_H_
+#define BENCH_HARNESS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/table.h"
+#include "src/model/profile.h"
+#include "src/runtime/cluster.h"
+#include "src/runtime/training_job.h"
+
+namespace bsched {
+namespace bench {
+
+// Default cluster scales of Figures 10-12.
+inline const std::vector<int> kGpuCounts = {8, 16, 32, 64};
+inline constexpr int kGpusPerMachine = 8;
+
+// The five setups of Figures 10-12, in paper order.
+std::vector<Setup> PaperSetups();
+
+JobConfig MakeJob(const ModelProfile& model, const Setup& setup, int num_machines,
+                  Bandwidth bandwidth);
+
+// Applies a scheduling mode; for ByteScheduler, installs the heuristic tuned
+// parameters for the job's architecture/transport/bandwidth.
+JobConfig WithMode(JobConfig job, SchedMode mode);
+
+double RunSpeed(const JobConfig& job);
+
+// Prints one model-scaling figure (the Figure 10/11/12 family): per setup, a
+// speed table over GPU counts for baseline / ByteScheduler / linear scaling
+// (and P3 in the MXNet PS TCP pane when requested), plus the speed-up range
+// the paper quotes in each pane's caption.
+void PrintScalingFigure(const std::string& title, const ModelProfile& model, bool include_p3);
+
+std::string GainPercent(double sched, double baseline);
+
+}  // namespace bench
+}  // namespace bsched
+
+#endif  // BENCH_HARNESS_H_

@@ -1,0 +1,135 @@
+// bschedctl: command-line experiment runner. Configure a distributed
+// training job entirely from flags, run it, and optionally dump a Chrome
+// trace of the compute/communication overlap.
+//
+// Examples:
+//   ./build/examples/bschedctl --model vgg16 --setup mxnet-ps-rdma \
+//       --machines 4 --gbps 100 --mode bytescheduler
+//   ./build/examples/bschedctl --model transformer --setup pytorch-nccl-tcp \
+//       --mode baseline --trace /tmp/trace.json
+//   ./build/examples/bschedctl --model resnet50 --mode bytescheduler \
+//       --partition-kb 2048 --credit-kb 10240 --async
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "src/common/flags.h"
+#include "src/common/trace.h"
+#include "src/model/zoo.h"
+#include "src/runtime/cluster.h"
+#include "src/runtime/training_job.h"
+
+using namespace bsched;
+
+namespace {
+
+constexpr char kUsage[] = R"(usage: bschedctl [flags]
+  --model      vgg16|vgg19|alexnet|resnet50|transformer   (default vgg16)
+  --setup      mxnet-ps-tcp|mxnet-ps-rdma|tf-ps-tcp|mxnet-nccl-rdma|pytorch-nccl-tcp
+  --mode       baseline|bytescheduler|p3                  (default bytescheduler)
+  --machines   worker machines, 8 GPUs each               (default 4)
+  --gbps       network bandwidth in Gbps                  (default 100)
+  --partition-kb / --credit-kb   scheduler knobs (default: auto heuristic)
+  --async      asynchronous PS training
+  --iters      measured iterations                        (default 5)
+  --trace      path to write a Chrome trace JSON
+)";
+
+Setup SetupByName(const std::string& name, bool* ok) {
+  *ok = true;
+  if (name == "mxnet-ps-tcp") {
+    return Setup::MxnetPsTcp();
+  }
+  if (name == "mxnet-ps-rdma") {
+    return Setup::MxnetPsRdma();
+  }
+  if (name == "tf-ps-tcp") {
+    return Setup::TensorFlowPsTcp();
+  }
+  if (name == "mxnet-nccl-rdma") {
+    return Setup::MxnetNcclRdma();
+  }
+  if (name == "pytorch-nccl-tcp") {
+    return Setup::PyTorchNcclTcp();
+  }
+  *ok = false;
+  return Setup{};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  if (flags.Has("help") || !flags.errors().empty()) {
+    std::fputs(kUsage, stderr);
+    return flags.Has("help") ? 0 : 1;
+  }
+
+  JobConfig job;
+  job.model = ModelByName(flags.GetString("model", "vgg16"));
+  bool setup_ok = false;
+  job.setup = SetupByName(flags.GetString("setup", "mxnet-ps-rdma"), &setup_ok);
+  if (!setup_ok) {
+    std::fprintf(stderr, "unknown --setup\n%s", kUsage);
+    return 1;
+  }
+  job.num_machines = static_cast<int>(flags.GetInt("machines", 4));
+  job.bandwidth = Bandwidth::Gbps(flags.GetDouble("gbps", 100));
+  job.measure_iters = static_cast<int>(flags.GetInt("iters", 5));
+  job.ps_async = flags.GetBool("async", false);
+
+  const std::string mode = flags.GetString("mode", "bytescheduler");
+  if (mode == "baseline") {
+    job.mode = SchedMode::kVanilla;
+  } else if (mode == "p3") {
+    job.mode = SchedMode::kP3;
+  } else if (mode == "bytescheduler") {
+    job.mode = SchedMode::kByteScheduler;
+    const TunedParams tuned =
+        DefaultTunedParams(job.model, job.setup.arch, job.setup.transport, job.bandwidth);
+    job.partition_bytes = KiB(flags.GetInt("partition-kb", tuned.partition_bytes / 1024));
+    job.credit_bytes = KiB(flags.GetInt("credit-kb", tuned.credit_bytes / 1024));
+  } else {
+    std::fprintf(stderr, "unknown --mode\n%s", kUsage);
+    return 1;
+  }
+
+  TraceRecorder trace;
+  const std::string trace_path = flags.GetString("trace", "");
+  if (!trace_path.empty()) {
+    job.trace = &trace;
+  }
+
+  const JobResult result = RunTrainingJob(job);
+  std::printf("model           : %s (%s params)\n", job.model.name.c_str(),
+              FormatBytes(job.model.TotalParamBytes()).c_str());
+  std::printf("setup           : %s, %d machines (%d GPUs), %.0f Gbps\n",
+              job.setup.name.c_str(), job.num_machines, job.total_gpus(),
+              job.bandwidth.ToGbps());
+  std::printf("scheduler       : %s", ToString(job.mode));
+  if (job.mode == SchedMode::kByteScheduler) {
+    std::printf(" (partition %s, credit %s)", FormatBytes(job.partition_bytes).c_str(),
+                FormatBytes(job.credit_bytes).c_str());
+  }
+  std::printf("\n");
+  std::printf("iteration time  : %s\n", result.avg_iter_time.ToString().c_str());
+  std::printf("training speed  : %.1f %s/sec (%.1f%% of linear scaling)\n",
+              result.samples_per_sec, job.model.sample_unit.c_str(),
+              100.0 * result.samples_per_sec / PaperLinearScaling(job));
+  if (job.setup.arch == ArchType::kPs) {
+    std::printf("shard imbalance : %.2fx\n", result.shard_load_imbalance);
+  }
+  std::printf("simulator events: %llu\n", static_cast<unsigned long long>(result.sim_events));
+
+  if (!trace_path.empty()) {
+    std::ofstream out(trace_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", trace_path.c_str());
+      return 1;
+    }
+    trace.WriteChromeTrace(out);
+    std::printf("trace           : %s (%zu events; open in chrome://tracing)\n",
+                trace_path.c_str(), trace.num_events());
+  }
+  return 0;
+}

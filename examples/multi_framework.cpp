@@ -1,0 +1,49 @@
+// Genericity demo: the same scheduler Core accelerates every combination of
+// framework engine (declarative/imperative, with or without a global
+// barrier), gradient-synchronization architecture (PS / ring all-reduce) and
+// transport (TCP / RDMA) — the paper's central claim. Runs VGG16 across the
+// five evaluated setups and reports speed-ups.
+//
+// Run: ./build/examples/multi_framework
+#include <cstdio>
+#include <vector>
+
+#include "src/model/zoo.h"
+#include "src/runtime/cluster.h"
+#include "src/runtime/training_job.h"
+
+int main() {
+  using namespace bsched;
+
+  const std::vector<Setup> setups = {Setup::MxnetPsTcp(), Setup::MxnetPsRdma(),
+                                     Setup::TensorFlowPsTcp(), Setup::MxnetNcclRdma(),
+                                     Setup::PyTorchNcclTcp()};
+  std::printf("VGG16, 32 GPUs, 100 Gbps: one scheduler, five framework/comm stacks\n\n");
+  std::printf("%-20s %-10s %-10s %-10s %-14s %s\n", "setup", "engine", "barrier", "arch",
+              "baseline", "bytescheduler");
+  for (const Setup& setup : setups) {
+    JobConfig job;
+    job.model = Vgg16();
+    job.setup = setup;
+    job.num_machines = 4;
+    job.bandwidth = Bandwidth::Gbps(100);
+
+    job.mode = SchedMode::kVanilla;
+    const double baseline = RunTrainingJob(job).samples_per_sec;
+
+    job.mode = SchedMode::kByteScheduler;
+    const TunedParams tuned =
+        DefaultTunedParams(job.model, setup.arch, setup.transport, job.bandwidth);
+    job.partition_bytes = tuned.partition_bytes;
+    job.credit_bytes = tuned.credit_bytes;
+    const double sched = RunTrainingJob(job).samples_per_sec;
+
+    std::printf("%-20s %-10s %-10s %-10s %-14.0f %.0f (%+.0f%%)\n", setup.name.c_str(),
+                IsImperative(setup.framework) ? "imperative" : "declarative",
+                HasGlobalBarrier(setup.framework) ? "yes" : "no", ToString(setup.arch), baseline,
+                sched, 100.0 * (sched / baseline - 1.0));
+  }
+  std::printf("\nEvery row uses the identical Core (Algorithm 1); only the thin plugin\n"
+              "wiring (Dependency Proxies, hooks, barrier crossing) differs per engine.\n");
+  return 0;
+}

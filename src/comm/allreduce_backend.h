@@ -1,0 +1,68 @@
+// Ring all-reduce backend (NCCL/Horovod-style). All workers execute the same
+// sequence of all-reduce operations; the paper's master Core decides that
+// order and broadcasts it, so this backend is driven by a single scheduling
+// Core. One operation over W workers costs
+//
+//   launch_overhead + 2(W-1) * (step_latency + (bytes/W) / effective_rate)
+//
+// — the classic segmented-ring cost: 2(W-1) steps, each moving a 1/W chunk
+// plus a per-step synchronization latency. The W-dependent fixed cost is why
+// all-reduce prefers much larger partitions than PS (Table 1), and the
+// launch overhead is pipelined only when more than one operation is in
+// flight — which is what sender credits buy over stop-and-wait.
+#ifndef SRC_COMM_ALLREDUCE_BACKEND_H_
+#define SRC_COMM_ALLREDUCE_BACKEND_H_
+
+#include <functional>
+#include <memory>
+
+#include "src/comm/backend.h"
+#include "src/net/transport.h"
+#include "src/sim/resource.h"
+#include "src/sim/simulator.h"
+
+namespace bsched {
+
+struct AllReduceConfig {
+  int num_workers = 2;  // ring size (total GPUs)
+  Bandwidth link_rate = Bandwidth::Gbps(100);
+  TransportModel transport = TransportModel::Rdma();
+  // Host-side cost to launch/negotiate one collective; overlaps with the
+  // ring occupancy of earlier operations.
+  SimTime launch_overhead;
+  // Per-ring-step synchronization latency.
+  SimTime step_latency;
+  // Horovod-style coordination: tensors are negotiated across workers in
+  // periodic cycles (hvd cycle_time), so an operation enters the ring only at
+  // the next cycle boundary after submission. ByteScheduler's master Core
+  // pre-decides one global order (§5), which removes the per-tensor
+  // negotiation; set 0 to disable.
+  SimTime nego_cycle;
+
+  // NCCL-like presets; latencies depend on the transport.
+  static AllReduceConfig Nccl(int num_workers, Bandwidth link_rate,
+                              const TransportModel& transport);
+};
+
+class AllReduceBackend : public CommBackend {
+ public:
+  AllReduceBackend(Simulator* sim, const AllReduceConfig& config);
+
+  void Start(const SubCommTask& subtask, std::function<void()> on_finish) override;
+
+  // Ring time for one operation of `bytes` (excludes the launch overhead).
+  SimTime RingTime(Bytes bytes) const;
+
+  const AllReduceConfig& config() const { return config_; }
+  SimTime ring_busy_time() const { return ring_->busy_time(); }
+  uint64_t ops_completed() const { return ring_->jobs_completed(); }
+
+ private:
+  Simulator* sim_;
+  AllReduceConfig config_;
+  std::unique_ptr<Resource> ring_;
+};
+
+}  // namespace bsched
+
+#endif  // SRC_COMM_ALLREDUCE_BACKEND_H_

@@ -1,0 +1,29 @@
+// Communication-backend interface. The Core is communication-method-agnostic:
+// SubCommTask.start() hands a partition to a backend (PS push/pull or ring
+// all-reduce), and the backend invokes the completion callback when the
+// underlying operation finishes for that worker. Backends serialize admitted
+// work in FIFO order — the Core controls only admission order and in-flight
+// bytes, exactly as in the paper.
+#ifndef SRC_COMM_BACKEND_H_
+#define SRC_COMM_BACKEND_H_
+
+#include <functional>
+
+#include "src/core/comm_task.h"
+
+namespace bsched {
+
+class CommBackend {
+ public:
+  virtual ~CommBackend() = default;
+
+  // Admits one partition into the underlying stack. `on_finish` must be
+  // invoked exactly once, when the operation completes from the perspective
+  // of `subtask.worker` (push: ack received; pull: data delivered;
+  // all-reduce: ring pass complete).
+  virtual void Start(const SubCommTask& subtask, std::function<void()> on_finish) = 0;
+};
+
+}  // namespace bsched
+
+#endif  // SRC_COMM_BACKEND_H_

@@ -1,0 +1,177 @@
+#include "src/comm/ps_backend.h"
+
+#include <algorithm>
+#include <string>
+
+#include "src/common/check.h"
+
+namespace bsched {
+
+PsBackend::PsBackend(Simulator* sim, const PsConfig& config) : sim_(sim), config_(config) {
+  BSCHED_CHECK(sim_ != nullptr);
+  BSCHED_CHECK(config_.num_workers > 0);
+  BSCHED_CHECK(config_.num_shards > 0);
+  TransportModel receiver = config_.transport;
+  receiver.serial_overhead = SimTime();
+  receiver.latency = SimTime();
+  for (int w = 0; w < config_.num_workers; ++w) {
+    const std::string name = "worker" + std::to_string(w);
+    uplinks_.push_back(std::make_unique<Link>(sim, name + ".up", config_.link_rate,
+                                              config_.transport));
+    downlinks_.push_back(std::make_unique<Link>(sim, name + ".down", config_.link_rate, receiver));
+  }
+  for (int s = 0; s < config_.num_shards; ++s) {
+    const std::string name = "shard" + std::to_string(s);
+    ingresses_.push_back(std::make_unique<Link>(sim, name + ".in", config_.link_rate, receiver));
+    egresses_.push_back(std::make_unique<Link>(sim, name + ".out", config_.link_rate,
+                                               config_.transport));
+    shard_cpus_.push_back(std::make_unique<Resource>(sim, name + ".cpu"));
+  }
+}
+
+int PsBackend::ShardFor(int64_t tensor_id, int partition) const {
+  // Round-robin by tensor; partitions of one tensor stripe across shards.
+  // Unpartitioned tensors (single partition 0) land whole on one shard,
+  // reproducing the vanilla assignment and its imbalance on skewed models.
+  return static_cast<int>((tensor_id + partition) % config_.num_shards);
+}
+
+void PsBackend::Start(const SubCommTask& subtask, std::function<void()> on_finish) {
+  BSCHED_CHECK(subtask.worker >= 0 && subtask.worker < config_.num_workers);
+  BSCHED_CHECK(on_finish != nullptr);
+  switch (subtask.type) {
+    case CommOpType::kPush:
+      HandlePush(subtask, std::move(on_finish));
+      return;
+    case CommOpType::kPull:
+      HandlePull(subtask, std::move(on_finish));
+      return;
+    case CommOpType::kAllReduce:
+      BSCHED_CHECK(false && "PS backend cannot execute all-reduce tasks");
+  }
+}
+
+void PsBackend::HandlePush(const SubCommTask& subtask, std::function<void()> on_finish) {
+  const int shard = ShardFor(subtask.tensor_id, subtask.partition);
+  uplinks_[subtask.worker]->SendWithFlush(
+      subtask.bytes,
+      /*on_flushed=*/
+      [this, on_finish = std::move(on_finish)]() mutable {
+        // Sender-side completion (the stack flushed the partition): this is
+        // what returns scheduler credit, after a small completion latency.
+        sim_->Schedule(config_.control_latency, std::move(on_finish));
+      },
+      /*on_delivered=*/
+      [this, subtask, shard]() {
+        // Store-and-forward: the partition now serializes into the shard NIC,
+        // where copies from all workers contend.
+        ingresses_[shard]->Send(subtask.bytes,
+                                [this, subtask, shard] { OnPushArrived(subtask, shard); });
+      });
+}
+
+void PsBackend::OnPushArrived(const SubCommTask& subtask, int shard) {
+  SlotState& slot = slots_[{subtask.tensor_id, subtask.partition}];
+  const SimTime update_time =
+      SimTime::Seconds(static_cast<double>(subtask.bytes) / config_.update_bytes_per_sec) +
+      config_.update_fixed_overhead;
+  if (!config_.synchronous) {
+    // Async PS: apply each worker's gradient on arrival; parameters become
+    // pullable after the first update.
+    shard_cpus_[shard]->Submit(update_time, [this, shard, tensor = subtask.tensor_id,
+                                             partition = subtask.partition,
+                                             bytes = subtask.bytes] {
+      SlotState& s = slots_[{tensor, partition}];
+      if (!s.aggregated) {
+        s.aggregated = true;
+      }
+      auto pending = std::move(s.pending_pulls);
+      s.pending_pulls.clear();
+      for (auto& [worker, cb] : pending) {
+        DeliverPull(shard, worker, bytes, std::move(cb));
+      }
+    });
+    return;
+  }
+  ++slot.arrivals;
+  if (slot.arrivals < config_.num_workers) {
+    return;
+  }
+  slot.arrivals = 0;
+  // All workers' gradients for this partition arrived: run the update, then
+  // release any pulls that were admitted early.
+  shard_cpus_[shard]->Submit(update_time, [this, shard, tensor = subtask.tensor_id,
+                                           partition = subtask.partition, bytes = subtask.bytes] {
+    SlotState& s = slots_[{tensor, partition}];
+    s.aggregated = true;
+    auto pending = std::move(s.pending_pulls);
+    s.pending_pulls.clear();
+    for (auto& [worker, cb] : pending) {
+      DeliverPull(shard, worker, bytes, std::move(cb));
+    }
+    for (const auto& listener : listeners_) {
+      listener(tensor, partition);
+    }
+  });
+}
+
+void PsBackend::HandlePull(const SubCommTask& subtask, std::function<void()> on_finish) {
+  const int shard = ShardFor(subtask.tensor_id, subtask.partition);
+  // Pull request reaches the shard after a control-message latency.
+  sim_->Schedule(config_.control_latency, [this, subtask, shard,
+                                           on_finish = std::move(on_finish)]() mutable {
+    SlotState& slot = slots_[{subtask.tensor_id, subtask.partition}];
+    if (!slot.aggregated) {
+      slot.pending_pulls.emplace_back(subtask.worker, std::move(on_finish));
+      return;
+    }
+    DeliverPull(shard, subtask.worker, subtask.bytes, std::move(on_finish));
+  });
+}
+
+void PsBackend::DeliverPull(int shard, int worker, Bytes bytes, std::function<void()> on_finish) {
+  egresses_[shard]->Send(bytes, [this, worker, bytes, on_finish = std::move(on_finish)]() mutable {
+    downlinks_[worker]->Send(bytes, std::move(on_finish));
+  });
+}
+
+void PsBackend::ResetAggregationState() { slots_.clear(); }
+
+Bytes PsBackend::shard_bytes_in(int shard) const {
+  BSCHED_CHECK(shard >= 0 && shard < config_.num_shards);
+  return ingresses_[shard]->bytes_sent();
+}
+
+Bytes PsBackend::shard_bytes_out(int shard) const {
+  BSCHED_CHECK(shard >= 0 && shard < config_.num_shards);
+  return egresses_[shard]->bytes_sent();
+}
+
+double PsBackend::ShardLoadImbalance() const {
+  Bytes max_out = 0;
+  Bytes total = 0;
+  for (int s = 0; s < config_.num_shards; ++s) {
+    max_out = std::max(max_out, shard_bytes_out(s));
+    total += shard_bytes_out(s);
+  }
+  if (total == 0) {
+    return 1.0;
+  }
+  const double mean = static_cast<double>(total) / config_.num_shards;
+  return static_cast<double>(max_out) / mean;
+}
+
+std::string PsBackend::DebugString() const {
+  int pending_pulls = 0;
+  int waiting_slots = 0;
+  for (const auto& [key, slot] : slots_) {
+    pending_pulls += static_cast<int>(slot.pending_pulls.size());
+    if (slot.arrivals > 0) {
+      ++waiting_slots;
+    }
+  }
+  return "ps pending_pulls=" + std::to_string(pending_pulls) +
+         " slots_awaiting_arrivals=" + std::to_string(waiting_slots);
+}
+
+}  // namespace bsched

@@ -1,0 +1,119 @@
+// Parameter-server backend (ps-lite-style). Workers push gradient partitions
+// to shards and pull updated parameters back over full-duplex links; shards
+// aggregate across workers and run the update. Tensor-to-shard assignment is
+// round-robin by (layer + partition index): with unpartitioned tensors this
+// reproduces the vanilla frameworks' per-tensor round-robin (and its severe
+// load imbalance on skewed models, §6.2 "PS load balancing"); partitioned
+// tensors stripe across all shards.
+//
+// Transmission path (store-and-forward at partition granularity):
+//   push:  worker uplink (pays sender overhead) -> transport latency ->
+//          shard ingress (serialization only) -> aggregation + update
+//   pull:  request latency -> [wait until aggregated] -> shard egress (pays
+//          sender overhead + latency) -> worker downlink (serialization only)
+// Push completion for the scheduler is the *sender-side* flush plus a
+// completion latency, as in ps-lite's engine callbacks. A stop-and-wait
+// scheduler (P3) pays that per-partition gap serially and cannot fill the
+// pipe; the credit mechanism (§4.2) keeps multiple partitions in flight.
+#ifndef SRC_COMM_PS_BACKEND_H_
+#define SRC_COMM_PS_BACKEND_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/comm/backend.h"
+#include "src/net/link.h"
+#include "src/net/transport.h"
+#include "src/sim/resource.h"
+#include "src/sim/simulator.h"
+
+namespace bsched {
+
+struct PsConfig {
+  int num_workers = 1;
+  int num_shards = 1;
+  Bandwidth link_rate = Bandwidth::Gbps(100);
+  TransportModel transport = TransportModel::Tcp();
+  // Synchronous training: a partition becomes pullable once all workers'
+  // copies arrived and the update ran. Asynchronous: pulls wait only for the
+  // first update of their slot.
+  bool synchronous = true;
+  // Shard-side gradient update rate (summing + applying the optimizer).
+  double update_bytes_per_sec = 20e9;
+  // Fixed shard CPU cost per partition update (key lookup, op dispatch);
+  // part of the per-partition overhead θ that penalizes tiny partitions.
+  SimTime update_fixed_overhead = SimTime::Micros(25);
+  // Latency of sender-side completion callbacks and pull-request control
+  // messages.
+  SimTime control_latency = SimTime::Micros(20);
+};
+
+class PsBackend : public CommBackend {
+ public:
+  PsBackend(Simulator* sim, const PsConfig& config);
+
+  void Start(const SubCommTask& subtask, std::function<void()> on_finish) override;
+
+  // Clears per-partition aggregation state; call between independent jobs.
+  void ResetAggregationState();
+
+  // Human-readable aggregation/pending state for diagnostics.
+  std::string DebugString() const;
+
+  // Synchronous mode: invoked whenever a (tensor, partition) finishes
+  // aggregation (all workers' gradients arrived and the update ran). Plugins
+  // use this server-side notification to make pull partitions ready — a pull
+  // scheduled before its data exists would otherwise park inside the stack
+  // while holding sender credit, which can deadlock credit-limited schedulers
+  // across workers (each waiting for another's queued push). Multiple
+  // listeners are supported (co-scheduled jobs sharing the backend).
+  void AddAggregationListener(std::function<void(int64_t tensor_id, int partition)> fn) {
+    listeners_.push_back(std::move(fn));
+  }
+
+  const PsConfig& config() const { return config_; }
+
+  // Load-balance introspection.
+  Bytes shard_bytes_in(int shard) const;
+  Bytes shard_bytes_out(int shard) const;
+  // Max-over-mean shard egress load; 1.0 == perfectly balanced.
+  double ShardLoadImbalance() const;
+
+  Link& worker_uplink(int worker) { return *uplinks_[worker]; }
+  Link& worker_downlink(int worker) { return *downlinks_[worker]; }
+
+ private:
+  // Aggregation state for one (layer, partition) slot on its shard.
+  struct SlotState {
+    int arrivals = 0;
+    bool aggregated = false;
+    // Pull deliveries admitted before aggregation completed.
+    std::vector<std::pair<int, std::function<void()>>> pending_pulls;
+  };
+
+  int ShardFor(int64_t tensor_id, int partition) const;
+  void HandlePush(const SubCommTask& subtask, std::function<void()> on_finish);
+  void HandlePull(const SubCommTask& subtask, std::function<void()> on_finish);
+  void OnPushArrived(const SubCommTask& subtask, int shard);
+  void DeliverPull(int shard, int worker, Bytes bytes, std::function<void()> on_finish);
+
+  Simulator* sim_;
+  PsConfig config_;
+  // Sender-side links pay the per-message overhead θ; receiver-side links
+  // model serialization into the receiving NIC only.
+  std::vector<std::unique_ptr<Link>> uplinks_;     // worker -> network
+  std::vector<std::unique_ptr<Link>> downlinks_;   // network -> worker
+  std::vector<std::unique_ptr<Link>> ingresses_;   // network -> shard
+  std::vector<std::unique_ptr<Link>> egresses_;    // shard -> network
+  std::vector<std::unique_ptr<Resource>> shard_cpus_;
+  std::map<std::pair<int64_t, int>, SlotState> slots_;  // keyed by (tensor, partition)
+  std::vector<std::function<void(int64_t tensor_id, int partition)>> listeners_;
+};
+
+}  // namespace bsched
+
+#endif  // SRC_COMM_PS_BACKEND_H_

@@ -1,0 +1,36 @@
+// Lightweight invariant-checking macros. BSCHED_CHECK is always on (the
+// simulator is cheap relative to the cost of silently-corrupt schedules);
+// BSCHED_DCHECK compiles out in NDEBUG builds for hot paths.
+#ifndef SRC_COMMON_CHECK_H_
+#define SRC_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace bsched {
+namespace check_internal {
+
+[[noreturn]] inline void CheckFail(const char* expr, const char* file, int line) {
+  std::fprintf(stderr, "CHECK failed: %s at %s:%d\n", expr, file, line);
+  std::abort();
+}
+
+}  // namespace check_internal
+}  // namespace bsched
+
+#define BSCHED_CHECK(cond)                                              \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      ::bsched::check_internal::CheckFail(#cond, __FILE__, __LINE__);   \
+    }                                                                   \
+  } while (0)
+
+#ifdef NDEBUG
+#define BSCHED_DCHECK(cond) \
+  do {                      \
+  } while (0)
+#else
+#define BSCHED_DCHECK(cond) BSCHED_CHECK(cond)
+#endif
+
+#endif  // SRC_COMMON_CHECK_H_

@@ -1,0 +1,62 @@
+#include "src/common/flags.h"
+
+#include <cstdlib>
+
+namespace bsched {
+
+Flags::Flags(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      if (!arg.empty() && arg[0] == '-') {
+        errors_.push_back(arg);
+      } else {
+        positional_.push_back(arg);
+      }
+      continue;
+    }
+    const std::string body = arg.substr(2);
+    if (body.empty()) {
+      errors_.push_back(arg);
+      continue;
+    }
+    const size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      values_[body.substr(0, eq)] = body.substr(eq + 1);
+      continue;
+    }
+    // "--key value" if the next token is not itself a flag; else bare bool.
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[body] = argv[++i];
+    } else {
+      values_[body] = "true";
+    }
+  }
+}
+
+bool Flags::Has(const std::string& name) const { return values_.count(name) > 0; }
+
+std::string Flags::GetString(const std::string& name, const std::string& def) const {
+  auto it = values_.find(name);
+  return it != values_.end() ? it->second : def;
+}
+
+int64_t Flags::GetInt(const std::string& name, int64_t def) const {
+  auto it = values_.find(name);
+  return it != values_.end() ? std::strtoll(it->second.c_str(), nullptr, 10) : def;
+}
+
+double Flags::GetDouble(const std::string& name, double def) const {
+  auto it = values_.find(name);
+  return it != values_.end() ? std::strtod(it->second.c_str(), nullptr) : def;
+}
+
+bool Flags::GetBool(const std::string& name, bool def) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) {
+    return def;
+  }
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+}  // namespace bsched

@@ -1,0 +1,35 @@
+// Tiny command-line flag parser for the example/bench executables.
+// Accepts --key=value and --key value; bare --key is a boolean true.
+#ifndef SRC_COMMON_FLAGS_H_
+#define SRC_COMMON_FLAGS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace bsched {
+
+class Flags {
+ public:
+  Flags(int argc, const char* const* argv);
+
+  bool Has(const std::string& name) const;
+  std::string GetString(const std::string& name, const std::string& def) const;
+  int64_t GetInt(const std::string& name, int64_t def) const;
+  double GetDouble(const std::string& name, double def) const;
+  bool GetBool(const std::string& name, bool def) const;
+
+  // Arguments that were not --flags, in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+  // Tokens that looked malformed (e.g. "-x"), for error reporting.
+  const std::vector<std::string>& errors() const { return errors_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+  std::vector<std::string> errors_;
+};
+
+}  // namespace bsched
+
+#endif  // SRC_COMMON_FLAGS_H_

@@ -1,0 +1,88 @@
+#include "src/common/trace.h"
+
+#include "src/common/check.h"
+
+namespace bsched {
+namespace {
+
+// Minimal JSON string escaping (quotes and backslashes; our names are ASCII).
+std::string Escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+void TraceRecorder::AddSpan(const std::string& track, const std::string& name, SimTime start,
+                            SimTime end) {
+  BSCHED_CHECK(end >= start);
+  events_.push_back(Event{track, name, start, end, false});
+  TrackId(track);
+}
+
+void TraceRecorder::AddInstant(const std::string& track, const std::string& name, SimTime at) {
+  events_.push_back(Event{track, name, at, at, true});
+  TrackId(track);
+}
+
+int TraceRecorder::TrackId(const std::string& track) {
+  auto [it, inserted] = track_ids_.emplace(track, static_cast<int>(track_ids_.size()));
+  return it->second;
+}
+
+void TraceRecorder::WriteChromeTrace(std::ostream& os) const {
+  os << "[\n";
+  bool first = true;
+  for (const auto& [track, tid] : track_ids_) {
+    if (!first) {
+      os << ",\n";
+    }
+    first = false;
+    os << R"({"ph":"M","pid":1,"tid":)" << tid
+       << R"(,"name":"thread_name","args":{"name":")" << Escape(track) << "\"}}";
+  }
+  for (const Event& ev : events_) {
+    const int tid = track_ids_.at(ev.track);
+    if (!first) {
+      os << ",\n";
+    }
+    first = false;
+    if (ev.instant) {
+      os << R"({"ph":"i","pid":1,"tid":)" << tid << R"(,"ts":)" << ev.start.ToMicros()
+         << R"(,"s":"t","name":")" << Escape(ev.name) << "\"}";
+    } else {
+      os << R"({"ph":"X","pid":1,"tid":)" << tid << R"(,"ts":)" << ev.start.ToMicros()
+         << R"(,"dur":)" << (ev.end - ev.start).ToMicros() << R"(,"name":")" << Escape(ev.name)
+         << "\"}";
+    }
+  }
+  os << "\n]\n";
+}
+
+SimTime TraceRecorder::TrackBusyTime(const std::string& track) const {
+  SimTime total;
+  for (const Event& ev : events_) {
+    if (ev.track == track && !ev.instant) {
+      total += ev.end - ev.start;
+    }
+  }
+  return total;
+}
+
+std::vector<std::string> TraceRecorder::Tracks() const {
+  std::vector<std::string> tracks;
+  tracks.reserve(track_ids_.size());
+  for (const auto& [track, id] : track_ids_) {
+    tracks.push_back(track);
+  }
+  return tracks;
+}
+
+}  // namespace bsched

@@ -1,0 +1,53 @@
+// Execution-trace recording. The runtime can log per-op and per-tensor spans
+// into a TraceRecorder, which exports Chrome trace-event JSON (load it in
+// chrome://tracing or Perfetto to see compute/communication overlap — the
+// quantity ByteScheduler optimizes).
+#ifndef SRC_COMMON_TRACE_H_
+#define SRC_COMMON_TRACE_H_
+
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "src/common/units.h"
+
+namespace bsched {
+
+class TraceRecorder {
+ public:
+  // Records a complete span [start, end] on a named track (one trace "tid"
+  // per track). Spans may be added in any order.
+  void AddSpan(const std::string& track, const std::string& name, SimTime start, SimTime end);
+
+  // Records a zero-duration instant marker.
+  void AddInstant(const std::string& track, const std::string& name, SimTime at);
+
+  size_t num_events() const { return events_.size(); }
+  bool empty() const { return events_.empty(); }
+
+  // Chrome trace-event JSON (array form); timestamps in microseconds.
+  void WriteChromeTrace(std::ostream& os) const;
+
+  // Total span time per track (utilization summaries in tests/tools).
+  SimTime TrackBusyTime(const std::string& track) const;
+  std::vector<std::string> Tracks() const;
+
+ private:
+  struct Event {
+    std::string track;
+    std::string name;
+    SimTime start;
+    SimTime end;  // == start for instants
+    bool instant = false;
+  };
+
+  int TrackId(const std::string& track);
+
+  std::vector<Event> events_;
+  std::map<std::string, int> track_ids_;
+};
+
+}  // namespace bsched
+
+#endif  // SRC_COMMON_TRACE_H_

@@ -1,0 +1,41 @@
+#include "src/core/comm_task.h"
+
+namespace bsched {
+
+const char* ToString(CommOpType type) {
+  switch (type) {
+    case CommOpType::kPush:
+      return "push";
+    case CommOpType::kPull:
+      return "pull";
+    case CommOpType::kAllReduce:
+      return "allreduce";
+  }
+  return "unknown";
+}
+
+SchedulerConfig SchedulerConfig::Vanilla() {
+  SchedulerConfig cfg;
+  cfg.policy = Policy::kFifo;
+  cfg.partition_bytes = kNoPartition;
+  cfg.credit_bytes = kUnlimited;
+  return cfg;
+}
+
+SchedulerConfig SchedulerConfig::ByteScheduler(Bytes partition, Bytes credit) {
+  SchedulerConfig cfg;
+  cfg.policy = Policy::kPriority;
+  cfg.partition_bytes = partition;
+  cfg.credit_bytes = credit;
+  return cfg;
+}
+
+SchedulerConfig SchedulerConfig::P3() {
+  SchedulerConfig cfg;
+  cfg.policy = Policy::kPriority;
+  cfg.partition_bytes = KiB(160);
+  cfg.credit_bytes = KiB(160);
+  return cfg;
+}
+
+}  // namespace bsched

@@ -1,0 +1,173 @@
+#include "src/core/scheduler_core.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/common/check.h"
+
+namespace bsched {
+
+SchedulerCore::SchedulerCore(SchedulerConfig config, CommBackend* backend, int worker_id)
+    : config_(config), backend_(backend), worker_id_(worker_id), credit_(config.credit_bytes) {
+  BSCHED_CHECK(backend_ != nullptr);
+  BSCHED_CHECK(config_.credit_bytes > 0);
+}
+
+CommTaskId SchedulerCore::Enqueue(CommTaskDesc desc) {
+  BSCHED_CHECK(desc.tensor_bytes > 0);
+  const CommTaskId id = next_task_id_++;
+  TaskState state;
+
+  // CommTask.partition(size): split into SubCommTasks no larger than the
+  // configured partition size (zero-copy in real frameworks; here we only
+  // track sizes).
+  const Bytes unit = desc.partition_bytes_override > 0 ? desc.partition_bytes_override
+                                                       : config_.partition_bytes;
+  if (unit <= 0 || unit >= desc.tensor_bytes) {
+    state.partition_bytes.push_back(desc.tensor_bytes);
+  } else {
+    Bytes remaining = desc.tensor_bytes;
+    while (remaining > 0) {
+      const Bytes piece = std::min(unit, remaining);
+      state.partition_bytes.push_back(piece);
+      remaining -= piece;
+    }
+  }
+  state.partition_notified.assign(state.partition_bytes.size(), false);
+  state.desc = std::move(desc);
+  tasks_.emplace(id, std::move(state));
+  return id;
+}
+
+void SchedulerCore::NotifyReady(CommTaskId id) {
+  auto it = tasks_.find(id);
+  BSCHED_CHECK(it != tasks_.end());
+  TaskState& state = it->second;
+  for (int p = 0; p < static_cast<int>(state.partition_bytes.size()); ++p) {
+    if (!state.partition_notified[p]) {
+      EnqueueReady(state, id, p);
+    }
+  }
+  TrySchedule();
+}
+
+void SchedulerCore::NotifyReadyPartition(CommTaskId id, int partition) {
+  auto it = tasks_.find(id);
+  BSCHED_CHECK(it != tasks_.end());
+  TaskState& state = it->second;
+  BSCHED_CHECK(partition >= 0);
+  BSCHED_CHECK(partition < static_cast<int>(state.partition_bytes.size()));
+  if (!state.partition_notified[partition]) {
+    EnqueueReady(state, id, partition);
+  }
+  TrySchedule();
+}
+
+int SchedulerCore::NumPartitions(CommTaskId id) const {
+  auto it = tasks_.find(id);
+  BSCHED_CHECK(it != tasks_.end());
+  return static_cast<int>(it->second.partition_bytes.size());
+}
+
+SubTaskKey SchedulerCore::KeyFor(const SubCommTask& subtask) {
+  SubTaskKey key;
+  key.arrival_seq = next_arrival_seq_++;
+  if (config_.policy == SchedulerConfig::Policy::kPriority) {
+    key.layer = subtask.layer;
+    // Pulls ahead of pushes at the same layer: a finished pull directly
+    // unblocks next-iteration forward compute.
+    key.type_rank = (subtask.type == CommOpType::kPush) ? 1 : 0;
+  }
+  // For kFifo the key is pure arrival order (layer and type_rank stay 0).
+  return key;
+}
+
+void SchedulerCore::EnqueueReady(TaskState& state, CommTaskId id, int partition) {
+  state.partition_notified[partition] = true;
+  SubCommTask subtask;
+  subtask.task = id;
+  subtask.worker = state.desc.worker;
+  subtask.layer = state.desc.layer;
+  subtask.tensor_id =
+      state.desc.tensor_id >= 0 ? state.desc.tensor_id : state.desc.layer;
+  subtask.partition = partition;
+  subtask.bytes = state.partition_bytes[partition];
+  subtask.type = state.desc.type;
+  queue_.emplace(KeyFor(subtask), subtask);
+}
+
+void SchedulerCore::TrySchedule() {
+  if (scheduling_) {
+    // Re-entrant call (a finish callback released new work while we were
+    // already draining the queue); the outer loop will pick it up.
+    return;
+  }
+  scheduling_ = true;
+  while (!queue_.empty()) {
+    const SubCommTask& head = queue_.begin()->second;
+    // Credits model the *sender's* buffer (§4.2): pushes and all-reduce
+    // operations fill it; pull responses are sent by the server and consume
+    // the server-side egress queue instead, so they admit freely.
+    const bool charges_credit = head.type != CommOpType::kPull;
+    // Algorithm 1 line 16: wait unless the credit covers the head subtask.
+    // A subtask larger than the whole credit pool is admitted only when the
+    // pool is full, otherwise it could never start.
+    const bool can_start =
+        !charges_credit || credit_ >= head.bytes || credit_ == config_.credit_bytes;
+    if (!can_start) {
+      break;
+    }
+    SubCommTask subtask = head;
+    queue_.erase(queue_.begin());
+    const Bytes charged = charges_credit ? std::min(subtask.bytes, credit_) : 0;
+    credit_ -= charged;
+    ++subtasks_started_;
+    backend_->Start(subtask,
+                    [this, subtask, charged]() { OnSubTaskFinish(subtask, charged); });
+  }
+  scheduling_ = false;
+}
+
+void SchedulerCore::OnSubTaskFinish(SubCommTask subtask, Bytes charged) {
+  credit_ += charged;
+  BSCHED_DCHECK(credit_ <= config_.credit_bytes);
+  auto it = tasks_.find(subtask.task);
+  BSCHED_CHECK(it != tasks_.end());
+  TaskState& state = it->second;
+  ++state.partitions_finished;
+
+  // Copy the callbacks out: both may re-enter the Core (enqueue/ready new
+  // tasks), and on_finish-driven erase would invalidate `state`.
+  const bool task_done =
+      state.partitions_finished == static_cast<int>(state.partition_bytes.size());
+  auto on_partition_finish = state.desc.on_partition_finish;
+  std::function<void()> on_finish;
+  if (task_done) {
+    ++tasks_finished_;
+    on_finish = std::move(state.desc.on_finish);
+    tasks_.erase(it);
+  }
+  if (on_partition_finish) {
+    on_partition_finish(subtask.partition);
+  }
+  if (on_finish) {
+    on_finish();
+  }
+  TrySchedule();
+}
+
+std::string SchedulerCore::DebugString() const {
+  std::string out = "core[" + std::to_string(worker_id_) + "] credit=" + std::to_string(credit_) +
+                    "/" + std::to_string(config_.credit_bytes) +
+                    " queued=" + std::to_string(queue_.size()) +
+                    " unfinished_tasks=" + std::to_string(tasks_.size());
+  if (!queue_.empty()) {
+    const SubCommTask& head = queue_.begin()->second;
+    out += " head=(layer=" + std::to_string(head.layer) + " " + ToString(head.type) +
+           " part=" + std::to_string(head.partition) + " bytes=" + std::to_string(head.bytes) +
+           ")";
+  }
+  return out;
+}
+
+}  // namespace bsched

@@ -1,0 +1,87 @@
+// ByteScheduler Core: Algorithm 1 of the paper. Holds a priority queue of
+// ready SubCommTasks and admits them into the communication backend under
+// credit-based preemption. One Core instance runs per scheduling worker (each
+// PS worker schedules independently; all-reduce uses a single master Core).
+//
+// The Core is framework- and communication-method-agnostic: it sees only
+// CommTaskDescs from plugins and a CommBackend to start partitions on. It is
+// also simulator-agnostic — purely callback-driven — so unit tests drive it
+// with a mock backend.
+#ifndef SRC_CORE_SCHEDULER_CORE_H_
+#define SRC_CORE_SCHEDULER_CORE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/comm/backend.h"
+#include "src/core/comm_task.h"
+
+namespace bsched {
+
+class SchedulerCore {
+ public:
+  SchedulerCore(SchedulerConfig config, CommBackend* backend, int worker_id = 0);
+  SchedulerCore(const SchedulerCore&) = delete;
+  SchedulerCore& operator=(const SchedulerCore&) = delete;
+
+  // Core.enqueue(CommTask): registers the task and partitions it into
+  // SubCommTasks of at most `partition_bytes` (CommTask.partition()).
+  // Partitions are NOT schedulable until notified ready.
+  CommTaskId Enqueue(CommTaskDesc desc);
+
+  // CommTask.notify_ready(): all partitions of the task become schedulable.
+  void NotifyReady(CommTaskId id);
+
+  // Partition-granularity readiness; used by the PS plugin to release pull
+  // partitions as their push partitions are acked.
+  void NotifyReadyPartition(CommTaskId id, int partition);
+
+  int NumPartitions(CommTaskId id) const;
+
+  // Human-readable scheduler state (queue head, credit) for diagnostics.
+  std::string DebugString() const;
+
+  // Live scheduler state (used by tests and by auto-tuning instrumentation).
+  Bytes credit() const { return credit_; }
+  Bytes credit_cap() const { return config_.credit_bytes; }
+  size_t queue_length() const { return queue_.size(); }
+  uint64_t subtasks_started() const { return subtasks_started_; }
+  uint64_t tasks_finished() const { return tasks_finished_; }
+  const SchedulerConfig& config() const { return config_; }
+  int worker_id() const { return worker_id_; }
+
+ private:
+  struct TaskState {
+    CommTaskDesc desc;
+    std::vector<Bytes> partition_bytes;
+    std::vector<bool> partition_notified;
+    int partitions_finished = 0;
+  };
+
+  SubTaskKey KeyFor(const SubCommTask& subtask);
+  void EnqueueReady(TaskState& state, CommTaskId id, int partition);
+  void TrySchedule();
+  void OnSubTaskFinish(SubCommTask subtask, Bytes charged);
+
+  SchedulerConfig config_;
+  CommBackend* backend_;
+  int worker_id_;
+
+  CommTaskId next_task_id_ = 0;
+  uint64_t next_arrival_seq_ = 0;
+  Bytes credit_;
+  std::map<CommTaskId, TaskState> tasks_;
+  // Ready SubCommTasks ordered by priority key; begin() is the head.
+  std::map<SubTaskKey, SubCommTask> queue_;
+  bool scheduling_ = false;
+
+  uint64_t subtasks_started_ = 0;
+  uint64_t tasks_finished_ = 0;
+};
+
+}  // namespace bsched
+
+#endif  // SRC_CORE_SCHEDULER_CORE_H_

@@ -1,0 +1,34 @@
+#include "src/engine/proxy.h"
+
+#include "src/common/check.h"
+
+namespace bsched {
+
+DagEngine::OpFn DependencyProxy::MakeOpFn() {
+  return [this](DagEngine::Done done) {
+    BSCHED_CHECK(!started_);
+    started_ = true;
+    if (on_start_) {
+      on_start_();
+    }
+    if (released_) {
+      // Scheduler released the proxy before the engine reached it; the op
+      // completes immediately (the blocked dependency is already satisfied).
+      done();
+    } else {
+      pending_done_ = std::move(done);
+    }
+  };
+}
+
+void DependencyProxy::Release() {
+  BSCHED_CHECK(!released_);
+  released_ = true;
+  if (pending_done_) {
+    DagEngine::Done done = std::move(pending_done_);
+    pending_done_ = nullptr;
+    done();
+  }
+}
+
+}  // namespace bsched

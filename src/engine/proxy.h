@@ -1,0 +1,46 @@
+// Dependency Proxy (§3.3): an engine operation created by ByteScheduler that
+// claims dependencies from/to other operations without the engine knowing
+// about communication scheduling. When the engine starts the Proxy, the
+// scheduler is notified (CommTask.notify_ready()); the Proxy then holds its
+// position in the graph until the scheduler releases it.
+#ifndef SRC_ENGINE_PROXY_H_
+#define SRC_ENGINE_PROXY_H_
+
+#include <functional>
+#include <utility>
+
+#include "src/engine/dag_engine.h"
+
+namespace bsched {
+
+class DependencyProxy {
+ public:
+  DependencyProxy() = default;
+  DependencyProxy(const DependencyProxy&) = delete;
+  DependencyProxy& operator=(const DependencyProxy&) = delete;
+
+  // Invoked when the engine starts the proxy op, i.e. when all original
+  // precedent operations have finished. Typically wired to notify_ready().
+  void set_on_start(std::function<void()> fn) { on_start_ = std::move(fn); }
+
+  // Builds the op body to install into an engine. The op completes only once
+  // Release() has been called (before or after the engine starts it).
+  DagEngine::OpFn MakeOpFn();
+
+  // Lets the proxy finish; called by scheduler logic (e.g. on CommTask start
+  // or notify_finish, depending on which side of the operation it guards).
+  void Release();
+
+  bool started() const { return started_; }
+  bool released() const { return released_; }
+
+ private:
+  std::function<void()> on_start_;
+  DagEngine::Done pending_done_;
+  bool started_ = false;
+  bool released_ = false;
+};
+
+}  // namespace bsched
+
+#endif  // SRC_ENGINE_PROXY_H_

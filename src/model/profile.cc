@@ -1,0 +1,86 @@
+#include "src/model/profile.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace bsched {
+
+Bytes ModelProfile::TotalParamBytes() const {
+  Bytes total = 0;
+  for (const Layer& l : layers) {
+    total += l.param_bytes;
+  }
+  return total;
+}
+
+SimTime ModelProfile::TotalFpTime() const {
+  SimTime total;
+  for (const Layer& l : layers) {
+    total += l.fp_time;
+  }
+  return total;
+}
+
+SimTime ModelProfile::TotalBpTime() const {
+  SimTime total;
+  for (const Layer& l : layers) {
+    total += l.bp_time;
+  }
+  return total;
+}
+
+Bytes ModelProfile::MaxTensorBytes() const {
+  Bytes m = 0;
+  for (const Layer& l : layers) {
+    m = std::max(m, l.param_bytes);
+  }
+  return m;
+}
+
+ModelProfile ModelProfile::WithBatch(int new_batch) const {
+  BSCHED_CHECK(new_batch > 0);
+  BSCHED_CHECK(batch_per_gpu > 0);
+  ModelProfile out = *this;
+  out.batch_per_gpu = new_batch;
+  const double scale = static_cast<double>(new_batch) / static_cast<double>(batch_per_gpu);
+  for (Layer& l : out.layers) {
+    l.fp_time = SimTime(static_cast<int64_t>(std::llround(l.fp_time.nanos() * scale)));
+    l.bp_time = SimTime(static_cast<int64_t>(std::llround(l.bp_time.nanos() * scale)));
+  }
+  return out;
+}
+
+ModelProfile MakeModel(const std::string& name, const std::string& sample_unit, int batch_per_gpu,
+                       double per_gpu_samples_per_sec, const std::vector<LayerSpec>& specs) {
+  BSCHED_CHECK(!specs.empty());
+  BSCHED_CHECK(per_gpu_samples_per_sec > 0);
+  double total_gflops = 0.0;
+  for (const LayerSpec& s : specs) {
+    total_gflops += s.gflops;
+  }
+  BSCHED_CHECK(total_gflops > 0);
+
+  const double iter_compute_sec = batch_per_gpu / per_gpu_samples_per_sec;
+  const double fp_total_sec = iter_compute_sec / 3.0;
+  const double bp_total_sec = iter_compute_sec * 2.0 / 3.0;
+
+  ModelProfile profile;
+  profile.name = name;
+  profile.sample_unit = sample_unit;
+  profile.batch_per_gpu = batch_per_gpu;
+  profile.layers.reserve(specs.size());
+  for (const LayerSpec& s : specs) {
+    Layer layer;
+    layer.name = s.name;
+    layer.param_bytes = static_cast<Bytes>(std::llround(s.params_millions * 1e6)) * 4;  // fp32
+    const double frac = s.gflops / total_gflops;
+    layer.fp_time = SimTime::Seconds(fp_total_sec * frac);
+    layer.bp_time = SimTime::Seconds(bp_total_sec * frac);
+    profile.layers.push_back(std::move(layer));
+  }
+  return profile;
+}
+
+}  // namespace bsched

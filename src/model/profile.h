@@ -1,0 +1,67 @@
+// Layer-wise DNN profiles. The scheduler's behaviour depends only on the
+// timing structure of a model: the per-layer gradient/parameter tensor sizes
+// and the per-layer forward/backward compute durations. A ModelProfile
+// captures exactly that (no learning semantics), standing in for the GPU
+// execution of real models on the paper's V100 testbed.
+#ifndef SRC_MODEL_PROFILE_H_
+#define SRC_MODEL_PROFILE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/units.h"
+
+namespace bsched {
+
+// One DNN layer as seen by the communication scheduler: a parameter tensor
+// plus FP/BP compute costs. Layer index 0 is nearest the input, so under
+// priority scheduling layer 0's communication is most urgent (Theorem 1).
+struct Layer {
+  std::string name;
+  Bytes param_bytes = 0;
+  SimTime fp_time;
+  SimTime bp_time;
+  // Whether vanilla ps-lite may split this tensor across servers (its
+  // big-array splitting). Row-sparse tensors — notably embedding gradients —
+  // are not splittable and land whole on one shard, which is the paper's
+  // severe PS-load-imbalance case (§6.2).
+  bool splittable = true;
+};
+
+struct ModelProfile {
+  std::string name;
+  // Unit reported by the harness, e.g. "images" or "tokens" (Transformer).
+  std::string sample_unit = "samples";
+  // Batch (in sample units) per GPU that the compute times correspond to.
+  int batch_per_gpu = 32;
+  // Ordered input -> output.
+  std::vector<Layer> layers;
+
+  int num_layers() const { return static_cast<int>(layers.size()); }
+  Bytes TotalParamBytes() const;
+  SimTime TotalFpTime() const;
+  SimTime TotalBpTime() const;
+  SimTime TotalComputeTime() const { return TotalFpTime() + TotalBpTime(); }
+  Bytes MaxTensorBytes() const;
+
+  // Same model with compute scaled to a different per-GPU batch size
+  // (compute scales linearly with batch; tensor sizes do not change).
+  ModelProfile WithBatch(int new_batch) const;
+};
+
+// Declarative spec used by the zoo: parameter count in millions of floats and
+// a relative compute weight (forward GFLOPs); MakeModel calibrates absolute
+// times so one batch takes batch/samples_per_sec seconds of compute, split
+// 1:2 between FP and BP (the usual FP:BP cost ratio).
+struct LayerSpec {
+  std::string name;
+  double params_millions = 0.0;
+  double gflops = 0.0;
+};
+
+ModelProfile MakeModel(const std::string& name, const std::string& sample_unit, int batch_per_gpu,
+                       double per_gpu_samples_per_sec, const std::vector<LayerSpec>& specs);
+
+}  // namespace bsched
+
+#endif  // SRC_MODEL_PROFILE_H_

@@ -1,0 +1,41 @@
+#include "src/net/link.h"
+
+#include <utility>
+
+namespace bsched {
+
+Link::Link(Simulator* sim, std::string name, Bandwidth line_rate, const TransportModel& transport)
+    : sim_(sim), line_rate_(line_rate), transport_(transport), resource_(sim, std::move(name)) {}
+
+void Link::Send(Bytes size, std::function<void()> on_delivered) {
+  SendWithFlush(size, nullptr, std::move(on_delivered));
+}
+
+void Link::SendWithFlush(Bytes size, std::function<void()> on_flushed,
+                         std::function<void()> on_delivered) {
+  bytes_sent_ += size;
+  const SimTime latency = transport_.latency;
+  resource_.Submit(MessageTime(size), [this, latency, on_flushed = std::move(on_flushed),
+                                       on_delivered = std::move(on_delivered)]() mutable {
+    if (on_flushed) {
+      on_flushed();
+    }
+    if (!on_delivered) {
+      return;
+    }
+    if (latency.nanos() == 0) {
+      on_delivered();
+    } else {
+      // Delivery completes after the pipelined latency; the link itself is
+      // already free for the next message.
+      sim_->Schedule(latency, std::move(on_delivered));
+    }
+  });
+}
+
+DuplexLink::DuplexLink(Simulator* sim, const std::string& name, Bandwidth line_rate,
+                       const TransportModel& transport)
+    : up_(sim, name + ".up", line_rate, transport),
+      down_(sim, name + ".down", line_rate, transport) {}
+
+}  // namespace bsched

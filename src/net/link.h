@@ -1,0 +1,71 @@
+// Directional network links. A Link serializes message transmissions in FIFO
+// order at the transport's effective rate; a DuplexLink bundles the two
+// directions of a full-duplex NIC, which is what makes the paper's
+// push/pull pipelining argument observable (partitioned tensors keep both
+// directions busy; unpartitioned ones waste half the bandwidth).
+#ifndef SRC_NET_LINK_H_
+#define SRC_NET_LINK_H_
+
+#include <functional>
+#include <string>
+
+#include "src/common/units.h"
+#include "src/net/transport.h"
+#include "src/sim/resource.h"
+#include "src/sim/simulator.h"
+
+namespace bsched {
+
+class Link {
+ public:
+  Link(Simulator* sim, std::string name, Bandwidth line_rate, const TransportModel& transport);
+
+  // Enqueues a message of `size` bytes. `on_delivered` fires when the message
+  // reaches the far end: occupancy (serialization + serial overhead) plus the
+  // transport's pipelined latency. The link frees at occupancy end, so
+  // subsequent messages overlap with in-flight latency.
+  void Send(Bytes size, std::function<void()> on_delivered);
+
+  // Like Send, but also reports the sender-side flush (occupancy end, when
+  // the stack accepts the next message). ps-lite-style push completions are
+  // flush-time events; delivery-time events drive the receiving side.
+  void SendWithFlush(Bytes size, std::function<void()> on_flushed,
+                     std::function<void()> on_delivered);
+
+  // Time a message of `size` occupies this link (excludes pipelined latency).
+  SimTime MessageTime(Bytes size) const { return transport_.MessageTime(line_rate_, size); }
+
+  Bandwidth effective_rate() const { return transport_.EffectiveRate(line_rate_); }
+  const TransportModel& transport() const { return transport_; }
+
+  Bytes bytes_sent() const { return bytes_sent_; }
+  SimTime busy_time() const { return resource_.busy_time(); }
+  uint64_t messages_sent() const { return resource_.jobs_completed(); }
+  size_t queue_length() const { return resource_.queue_length(); }
+  bool busy() const { return resource_.busy(); }
+
+ private:
+  Simulator* sim_;
+  Bandwidth line_rate_;
+  TransportModel transport_;
+  Resource resource_;
+  Bytes bytes_sent_ = 0;
+};
+
+// The two directions of one NIC.
+class DuplexLink {
+ public:
+  DuplexLink(Simulator* sim, const std::string& name, Bandwidth line_rate,
+             const TransportModel& transport);
+
+  Link& up() { return up_; }
+  Link& down() { return down_; }
+
+ private:
+  Link up_;
+  Link down_;
+};
+
+}  // namespace bsched
+
+#endif  // SRC_NET_LINK_H_

@@ -1,0 +1,49 @@
+#include "src/net/transport.h"
+
+#include <algorithm>
+
+namespace bsched {
+
+Bandwidth TransportModel::EffectiveRate(Bandwidth line) const {
+  const double rate = std::min(line.bytes_per_sec() * efficiency, goodput_cap.bytes_per_sec());
+  return Bandwidth::BytesPerSec(rate);
+}
+
+SimTime TransportModel::MessageTime(Bandwidth line, Bytes size) const {
+  return EffectiveRate(line).TransmitTime(size) + serial_overhead;
+}
+
+TransportModel TransportModel::Tcp() {
+  TransportModel t;
+  t.name = "tcp";
+  // θ ~ 300 us total per message on the paper's TCP testbed; most of it
+  // pipelines with the wire, a small part serializes on the stack.
+  t.serial_overhead = SimTime::Micros(40);
+  t.latency = SimTime::Micros(260);
+  t.efficiency = 0.90;
+  // Kernel TCP between a worker and a PS shard plateaus well below 100 Gbps.
+  t.goodput_cap = Bandwidth::Gbps(34);
+  return t;
+}
+
+TransportModel TransportModel::Rdma() {
+  TransportModel t;
+  t.name = "rdma";
+  t.serial_overhead = SimTime::Micros(20);
+  t.latency = SimTime::Micros(30);
+  t.efficiency = 0.95;
+  t.goodput_cap = Bandwidth::Gbps(1e6);
+  return t;
+}
+
+TransportModel TransportModel::Ideal() {
+  TransportModel t;
+  t.name = "ideal";
+  t.serial_overhead = SimTime();
+  t.latency = SimTime();
+  t.efficiency = 1.0;
+  t.goodput_cap = Bandwidth::Gbps(1e6);
+  return t;
+}
+
+}  // namespace bsched

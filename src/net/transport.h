@@ -1,0 +1,53 @@
+// Transport models. The paper's analysis (§4.1) reduces a transport stack to
+// achievable bandwidth plus a constant per-message "partition overhead" θ
+// (~300 µs measured on their TCP testbed: RPC serialization, ACK handling,
+// or all-reduce synchronization). Real stacks pipeline most of that work with
+// the wire, so θ is split into
+//   - serial_overhead: per-message CPU/stack time that occupies the link
+//     (limits goodput of small partitions), and
+//   - latency: per-message delivery delay that pipelines with subsequent
+//     messages (hurts stop-and-wait schedulers, not pipelined ones).
+// TCP and RDMA are parameter presets: RDMA has far lower per-message costs
+// and saturates fast links, while a kernel-TCP connection tops out well below
+// 100 Gbps.
+#ifndef SRC_NET_TRANSPORT_H_
+#define SRC_NET_TRANSPORT_H_
+
+#include <string>
+
+#include "src/common/units.h"
+
+namespace bsched {
+
+struct TransportModel {
+  std::string name;
+  // Per-message stack time that serializes with the link (part of θ).
+  SimTime serial_overhead;
+  // Per-message delivery latency, pipelined across messages (rest of θ).
+  SimTime latency;
+  // Fraction of the physical line rate the stack can actually deliver.
+  double efficiency = 1.0;
+  // Per-connection goodput ceiling (kernel TCP cannot saturate very fast
+  // NICs; RDMA can).
+  Bandwidth goodput_cap = Bandwidth::Gbps(1e6);
+
+  // Total per-partition overhead θ as the paper's analysis counts it.
+  SimTime TotalOverhead() const { return serial_overhead + latency; }
+
+  // Effective serialization rate on a physical link of rate `line`.
+  Bandwidth EffectiveRate(Bandwidth line) const;
+
+  // Time a message of `size` bytes *occupies* a link of rate `line`
+  // (serialization + serial overhead; excludes pipelined latency).
+  SimTime MessageTime(Bandwidth line, Bytes size) const;
+
+  static TransportModel Tcp();
+  static TransportModel Rdma();
+  // Zero-overhead, full-rate transport for analytic/ideal-case experiments
+  // (Theorem 1 validation uses this).
+  static TransportModel Ideal();
+};
+
+}  // namespace bsched
+
+#endif  // SRC_NET_TRANSPORT_H_

@@ -1,0 +1,79 @@
+#include "src/runtime/cluster.h"
+
+namespace bsched {
+
+bool HasGlobalBarrier(Framework fw) { return fw != Framework::kMxnet; }
+
+bool IsImperative(Framework fw) { return fw == Framework::kPyTorch; }
+
+const char* ToString(ArchType arch) {
+  switch (arch) {
+    case ArchType::kPs:
+      return "ps";
+    case ArchType::kAllReduce:
+      return "allreduce";
+  }
+  return "unknown";
+}
+
+const char* ToString(Framework fw) {
+  switch (fw) {
+    case Framework::kMxnet:
+      return "mxnet";
+    case Framework::kTensorFlow:
+      return "tensorflow";
+    case Framework::kPyTorch:
+      return "pytorch";
+  }
+  return "unknown";
+}
+
+const char* ToString(SchedMode mode) {
+  switch (mode) {
+    case SchedMode::kVanilla:
+      return "baseline";
+    case SchedMode::kByteScheduler:
+      return "bytescheduler";
+    case SchedMode::kP3:
+      return "p3";
+  }
+  return "unknown";
+}
+
+// PS setups carry a per-path goodput ceiling reflecting the communication
+// library implementation, not just the wire: ps-lite's single TCP connection
+// per server plateaus far below a 100 Gbps NIC; the paper's in-house RDMA
+// ps-lite reaches higher but nowhere near NCCL's line-rate transfers;
+// TensorFlow's gRPC-based PS is the slowest of the three (visible in the
+// paper's Figure 10(c) axis, ~5x below MXNet's).
+
+Setup Setup::MxnetPsTcp() {
+  TransportModel t = TransportModel::Tcp();
+  t.goodput_cap = Bandwidth::Gbps(26);
+  return Setup{"MXNet PS TCP", Framework::kMxnet, ArchType::kPs, t};
+}
+
+Setup Setup::MxnetPsRdma() {
+  TransportModel t = TransportModel::Rdma();
+  t.goodput_cap = Bandwidth::Gbps(40);
+  return Setup{"MXNet PS RDMA", Framework::kMxnet, ArchType::kPs, t};
+}
+
+Setup Setup::TensorFlowPsTcp() {
+  TransportModel t = TransportModel::Tcp();
+  t.goodput_cap = Bandwidth::Gbps(7);
+  t.serial_overhead = SimTime::Micros(120);  // protobuf serialization in gRPC
+  return Setup{"TensorFlow PS TCP", Framework::kTensorFlow, ArchType::kPs, t};
+}
+
+Setup Setup::MxnetNcclRdma() {
+  return Setup{"MXNet NCCL RDMA", Framework::kMxnet, ArchType::kAllReduce,
+               TransportModel::Rdma()};
+}
+
+Setup Setup::PyTorchNcclTcp() {
+  return Setup{"PyTorch NCCL TCP", Framework::kPyTorch, ArchType::kAllReduce,
+               TransportModel::Tcp()};
+}
+
+}  // namespace bsched

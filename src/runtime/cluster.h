@@ -1,0 +1,59 @@
+// Cluster / framework / scheduler configuration for a training job, plus the
+// named setups used throughout the paper's evaluation (§6.1).
+#ifndef SRC_RUNTIME_CLUSTER_H_
+#define SRC_RUNTIME_CLUSTER_H_
+
+#include <string>
+
+#include "src/common/units.h"
+#include "src/core/comm_task.h"
+#include "src/net/transport.h"
+
+namespace bsched {
+
+enum class ArchType {
+  kPs,         // parameter server: workers push/pull against shards
+  kAllReduce,  // ring all-reduce (NCCL-style)
+};
+
+// The three framework classes the paper targets. What matters for scheduling
+// is the engine style and whether an inter-iteration global barrier exists
+// (§2.3 Challenge 1, Figure 3).
+enum class Framework {
+  kMxnet,       // declarative engine, no global barrier
+  kTensorFlow,  // declarative engine, global barrier
+  kPyTorch,     // imperative engine, global barrier
+};
+
+bool HasGlobalBarrier(Framework fw);
+bool IsImperative(Framework fw);
+const char* ToString(ArchType arch);
+const char* ToString(Framework fw);
+
+// Which scheduling system runs the communication.
+enum class SchedMode {
+  kVanilla,        // the unmodified framework: FIFO, whole tensors
+  kByteScheduler,  // priority + partition + credit (+ barrier crossing)
+  kP3,             // P3 baseline: priority, 160 KB slices, stop-and-wait
+};
+
+const char* ToString(SchedMode mode);
+
+// One of the paper's evaluation setups, e.g. "MXNet PS RDMA".
+struct Setup {
+  std::string name;
+  Framework framework = Framework::kMxnet;
+  ArchType arch = ArchType::kPs;
+  TransportModel transport = TransportModel::Tcp();
+
+  // The five setups shown in Figures 10-12.
+  static Setup MxnetPsTcp();
+  static Setup MxnetPsRdma();
+  static Setup TensorFlowPsTcp();
+  static Setup MxnetNcclRdma();
+  static Setup PyTorchNcclTcp();
+};
+
+}  // namespace bsched
+
+#endif  // SRC_RUNTIME_CLUSTER_H_

@@ -1,0 +1,117 @@
+// End-to-end distributed-training job simulation: builds the multi-iteration
+// computation/communication DAG for every worker, wires the framework plugin
+// (vanilla FIFO path, or ByteScheduler with Dependency Proxies and barrier
+// crossing), runs it on the simulator, and reports steady-state training
+// speed — the metric every figure in the paper plots.
+#ifndef SRC_RUNTIME_TRAINING_JOB_H_
+#define SRC_RUNTIME_TRAINING_JOB_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/trace.h"
+#include "src/common/units.h"
+#include "src/core/comm_task.h"
+#include "src/model/profile.h"
+#include "src/runtime/cluster.h"
+
+namespace bsched {
+
+struct JobConfig {
+  ModelProfile model;
+  Setup setup;  // framework + architecture + transport
+  SchedMode mode = SchedMode::kVanilla;
+
+  int num_machines = 1;
+  int gpus_per_machine = 8;
+  Bandwidth bandwidth = Bandwidth::Gbps(100);
+
+  // ByteScheduler knobs (ignored for kVanilla; kP3 uses its fixed values).
+  Bytes partition_bytes = MiB(4);
+  Bytes credit_bytes = MiB(16);
+
+  // Full scheduler-config override (e.g. FIFO policy with partitioning for
+  // the Figure 4 sweeps); when set, it replaces the mode-derived config while
+  // keeping the ByteScheduler plugin wiring.
+  std::optional<SchedulerConfig> sched_override;
+
+  // §7 extension "dynamic partition size": per-layer partition sizes used by
+  // ByteScheduler mode instead of the uniform `partition_bytes`. Empty =
+  // uniform. When non-empty, must have one entry per model layer (0 entries
+  // fall back to the uniform size).
+  std::vector<Bytes> per_layer_partition;
+
+  // Ablation: run ByteScheduler on a barrier framework without the §3.4
+  // out-of-engine communication (the scheduler then stalls at the barrier).
+  bool disable_barrier_crossing = false;
+
+  // PS-only: asynchronous push/pull (no cross-worker aggregation wait).
+  bool ps_async = false;
+
+  int warmup_iters = 2;
+  int measure_iters = 6;
+
+  // Optional execution-trace sink (compute ops and per-tensor communication
+  // spans); must outlive RunTrainingJob. Null disables tracing.
+  TraceRecorder* trace = nullptr;
+
+  int total_gpus() const { return num_machines * gpus_per_machine; }
+};
+
+struct JobResult {
+  double samples_per_sec = 0.0;
+  SimTime avg_iter_time;
+  // Max-over-mean PS shard egress load (1.0 == balanced; PS jobs only).
+  double shard_load_imbalance = 1.0;
+  uint64_t sim_events = 0;
+  // SubCommTasks admitted across all Cores (communication ops on the wire).
+  uint64_t subtasks_started = 0;
+  // Per-iteration BP-finish timestamps (diagnostics / convergence checks).
+  std::vector<SimTime> iter_end_times;
+};
+
+// Runs the configured job to completion and reports steady-state speed
+// (samples/sec over the measured iterations, after warm-up).
+JobResult RunTrainingJob(const JobConfig& config);
+
+// Ideal compute-bound speed: single-device compute-only throughput times the
+// device count. An absolute upper bound for any schedule.
+double LinearScalingSpeed(const ModelProfile& model, int total_gpus);
+
+// The paper's "linear scaling" bar (§6.1): the one-machine local training
+// speed (no cross-machine network) multiplied by the machine count.
+double PaperLinearScaling(const JobConfig& config);
+
+// Heuristic tuned (partition, credit) defaults per architecture/transport/
+// bandwidth, matching the trends of the paper's Table 1 (PS wants MB-scale
+// partitions with ~5x credit; all-reduce wants tens-of-MB partitions).
+// The benchmark harness can replace these with real auto-tuner output.
+struct TunedParams {
+  Bytes partition_bytes;
+  Bytes credit_bytes;
+};
+
+// §7 extension "co-scheduling in a shared cluster": several PS training jobs
+// run concurrently on the same machines, sharing worker NICs and PS shards.
+enum class CoschedulePolicy {
+  // Each job runs its own scheduler Cores; jobs contend blindly in the
+  // shared fabric's FIFO queues (the status quo the paper warns about).
+  kIndependent,
+  // One shared Core per worker schedules all jobs' tensors together by
+  // layer priority — the cooperative scheduling §7 suggests.
+  kCoordinated,
+};
+
+// Runs the jobs to completion on one shared cluster and reports per-job
+// results. All jobs must be PS-architecture with the same machine count,
+// bandwidth and transport; the shared Cores (coordinated policy) take their
+// scheduler knobs from the first job.
+std::vector<JobResult> RunCoscheduledPsJobs(const std::vector<JobConfig>& jobs,
+                                            CoschedulePolicy policy);
+TunedParams DefaultTunedParams(const ModelProfile& model, ArchType arch,
+                               const TransportModel& transport, Bandwidth bandwidth);
+
+}  // namespace bsched
+
+#endif  // SRC_RUNTIME_TRAINING_JOB_H_

@@ -1,0 +1,58 @@
+#include "src/sim/resource.h"
+
+#include <utility>
+
+#include "src/common/check.h"
+
+namespace bsched {
+
+Resource::Resource(Simulator* sim, std::string name) : sim_(sim), name_(std::move(name)) {
+  BSCHED_CHECK(sim_ != nullptr);
+}
+
+void Resource::Submit(SimTime duration, std::function<void()> on_done) {
+  BSCHED_CHECK(duration.nanos() >= 0);
+  queue_.push_back(Job{duration, std::move(on_done)});
+  if (!busy_) {
+    StartNext();
+  }
+}
+
+void Resource::StartNext() {
+  BSCHED_DCHECK(!busy_);
+  if (queue_.empty()) {
+    return;
+  }
+  Job job = std::move(queue_.front());
+  queue_.pop_front();
+  busy_ = true;
+  current_job_end_ = sim_->Now() + job.duration;
+  sim_->Schedule(job.duration,
+                 [this, on_done = std::move(job.on_done), duration = job.duration]() mutable {
+                   OnJobDone(std::move(on_done), duration);
+                 });
+}
+
+void Resource::OnJobDone(std::function<void()> on_done, SimTime duration) {
+  busy_ = false;
+  busy_time_ += duration;
+  ++jobs_completed_;
+  // The completion callback runs before the next job starts, matching a real
+  // stack where the ACK/CQE handler fires before the NIC pulls the next WQE.
+  if (on_done) {
+    on_done();
+  }
+  if (!busy_ && !queue_.empty()) {
+    StartNext();
+  }
+}
+
+SimTime Resource::DrainTime() const {
+  SimTime t = busy_ ? current_job_end_ : sim_->Now();
+  for (const Job& job : queue_) {
+    t += job.duration;
+  }
+  return t;
+}
+
+}  // namespace bsched

@@ -1,0 +1,62 @@
+// A serialized FIFO resource: the building block for network links, PS shard
+// NICs, GPU compute streams, and the all-reduce ring. Jobs submitted to a
+// Resource execute one at a time, in submission order, each occupying the
+// resource for its stated duration. This mirrors the paper's observation that
+// the underlying communication stacks are "inherently based on FIFO queues":
+// schedulers control *admission order*, never preempt an in-flight job.
+#ifndef SRC_SIM_RESOURCE_H_
+#define SRC_SIM_RESOURCE_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "src/common/units.h"
+#include "src/sim/simulator.h"
+
+namespace bsched {
+
+class Resource {
+ public:
+  Resource(Simulator* sim, std::string name);
+  Resource(const Resource&) = delete;
+  Resource& operator=(const Resource&) = delete;
+
+  // Enqueues a job that holds the resource for `duration`, then invokes
+  // `on_done` (may be empty). Starts immediately if the resource is idle.
+  void Submit(SimTime duration, std::function<void()> on_done);
+
+  bool busy() const { return busy_; }
+  size_t queue_length() const { return queue_.size(); }
+  const std::string& name() const { return name_; }
+
+  // Total time the resource has been occupied (for utilization reporting).
+  SimTime busy_time() const { return busy_time_; }
+  uint64_t jobs_completed() const { return jobs_completed_; }
+
+  // Virtual time at which all currently queued work will have drained,
+  // assuming no further submissions.
+  SimTime DrainTime() const;
+
+ private:
+  struct Job {
+    SimTime duration;
+    std::function<void()> on_done;
+  };
+
+  void StartNext();
+  void OnJobDone(std::function<void()> on_done, SimTime duration);
+
+  Simulator* sim_;
+  std::string name_;
+  bool busy_ = false;
+  SimTime current_job_end_;
+  std::deque<Job> queue_;
+  SimTime busy_time_;
+  uint64_t jobs_completed_ = 0;
+};
+
+}  // namespace bsched
+
+#endif  // SRC_SIM_RESOURCE_H_

@@ -1,0 +1,59 @@
+#include "src/sim/simulator.h"
+
+#include <utility>
+
+#include "src/common/check.h"
+
+namespace bsched {
+
+void EventHandle::Cancel() {
+  if (cancelled_ != nullptr) {
+    *cancelled_ = true;
+  }
+}
+
+EventHandle Simulator::Schedule(SimTime delay, std::function<void()> fn) {
+  BSCHED_CHECK(delay.nanos() >= 0);
+  return ScheduleAt(now_ + delay, std::move(fn));
+}
+
+EventHandle Simulator::ScheduleAt(SimTime when, std::function<void()> fn) {
+  BSCHED_CHECK(when >= now_);
+  auto cancelled = std::make_shared<bool>(false);
+  queue_.push(Event{when, next_seq_++, std::move(fn), cancelled});
+  return EventHandle(std::move(cancelled));
+}
+
+bool Simulator::Step() {
+  while (!queue_.empty()) {
+    // priority_queue::top() is const; the event is moved out via const_cast,
+    // which is safe because pop() immediately removes the moved-from shell.
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    if (*ev.cancelled) {
+      continue;
+    }
+    now_ = ev.when;
+    ++processed_;
+    ev.fn();
+    return true;
+  }
+  return false;
+}
+
+uint64_t Simulator::Run(SimTime deadline) {
+  uint64_t count = 0;
+  while (!queue_.empty()) {
+    if (queue_.top().when > deadline) {
+      break;
+    }
+    if (Step()) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+bool Simulator::Empty() const { return queue_.empty(); }
+
+}  // namespace bsched

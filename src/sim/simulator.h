@@ -1,0 +1,86 @@
+// Single-threaded discrete-event simulator. All substrates (network links,
+// GPU compute streams, PS shards, the ring) advance by scheduling callbacks
+// on one Simulator instance, which makes every experiment deterministic.
+#ifndef SRC_SIM_SIMULATOR_H_
+#define SRC_SIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "src/common/units.h"
+
+namespace bsched {
+
+// Handle returned by Schedule(); allows cancelling a pending event. Copyable;
+// all copies refer to the same event.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  // Cancels the event if it has not fired yet. Idempotent.
+  void Cancel();
+
+  bool valid() const { return cancelled_ != nullptr; }
+
+ private:
+  friend class Simulator;
+  explicit EventHandle(std::shared_ptr<bool> cancelled) : cancelled_(std::move(cancelled)) {}
+
+  std::shared_ptr<bool> cancelled_;
+};
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  SimTime Now() const { return now_; }
+
+  // Schedules `fn` to run at Now() + delay. Events at equal times fire in
+  // scheduling order (stable FIFO tie-break).
+  EventHandle Schedule(SimTime delay, std::function<void()> fn);
+
+  // Schedules `fn` at an absolute time, which must be >= Now().
+  EventHandle ScheduleAt(SimTime when, std::function<void()> fn);
+
+  // Runs events until the queue is empty or `deadline` is passed. Events at
+  // exactly `deadline` still fire. Returns the number of events processed.
+  uint64_t Run(SimTime deadline = SimTime::Max());
+
+  // Fires the single earliest pending event. Returns false if queue is empty.
+  bool Step();
+
+  bool Empty() const;
+  // Upper bound: includes events that were cancelled but not yet popped.
+  size_t PendingEvents() const { return queue_.size(); }
+  uint64_t processed_events() const { return processed_; }
+
+ private:
+  struct Event {
+    SimTime when;
+    uint64_t seq;
+    std::function<void()> fn;
+    std::shared_ptr<bool> cancelled;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) {
+        return a.when > b.when;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_;
+  uint64_t next_seq_ = 0;
+  uint64_t processed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace bsched
+
+#endif  // SRC_SIM_SIMULATOR_H_

@@ -1,0 +1,151 @@
+#include "src/tuning/gaussian_process.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace bsched {
+
+GaussianProcess::GaussianProcess(int dims, Hyper hyper) : dims_(dims), hyper_(hyper) {
+  BSCHED_CHECK(dims_ >= 1);
+  BSCHED_CHECK(hyper_.lengthscale > 0);
+  BSCHED_CHECK(hyper_.signal_var > 0);
+  BSCHED_CHECK(hyper_.noise_var >= 0);
+}
+
+void GaussianProcess::Add(const std::vector<double>& x, double y) {
+  BSCHED_CHECK(static_cast<int>(x.size()) == dims_);
+  xs_.push_back(x);
+  ys_.push_back(y);
+  fitted_ = false;
+}
+
+double GaussianProcess::best_y() const {
+  BSCHED_CHECK(!ys_.empty());
+  return *std::max_element(ys_.begin(), ys_.end());
+}
+
+double GaussianProcess::Kernel(const std::vector<double>& a, const std::vector<double>& b) const {
+  double d2 = 0.0;
+  for (int i = 0; i < dims_; ++i) {
+    const double d = a[i] - b[i];
+    d2 += d * d;
+  }
+  const double l2 = hyper_.lengthscale * hyper_.lengthscale;
+  return hyper_.signal_var * std::exp(-0.5 * d2 / l2);
+}
+
+void GaussianProcess::Fit() const {
+  const size_t n = xs_.size();
+  // Standardize targets so the kernel hyperparameters are scale-free.
+  y_mean_ = 0.0;
+  for (double y : ys_) {
+    y_mean_ += y;
+  }
+  y_mean_ /= static_cast<double>(n);
+  double var = 0.0;
+  for (double y : ys_) {
+    var += (y - y_mean_) * (y - y_mean_);
+  }
+  y_scale_ = n > 1 ? std::sqrt(var / static_cast<double>(n - 1)) : 1.0;
+  if (y_scale_ < 1e-12) {
+    y_scale_ = 1.0;
+  }
+
+  // K + σ²I, then in-place Cholesky (row-major lower triangle).
+  chol_.assign(n * n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j <= i; ++j) {
+      double k = Kernel(xs_[i], xs_[j]);
+      if (i == j) {
+        k += hyper_.noise_var + 1e-9;  // jitter for numerical stability
+      }
+      chol_[i * n + j] = k;
+    }
+  }
+  for (size_t j = 0; j < n; ++j) {
+    double diag = chol_[j * n + j];
+    for (size_t k = 0; k < j; ++k) {
+      diag -= chol_[j * n + k] * chol_[j * n + k];
+    }
+    BSCHED_CHECK(diag > 0);
+    diag = std::sqrt(diag);
+    chol_[j * n + j] = diag;
+    for (size_t i = j + 1; i < n; ++i) {
+      double v = chol_[i * n + j];
+      for (size_t k = 0; k < j; ++k) {
+        v -= chol_[i * n + k] * chol_[j * n + k];
+      }
+      chol_[i * n + j] = v / diag;
+    }
+  }
+
+  // alpha = (K+σ²I)^-1 ỹ via two triangular solves.
+  alpha_.assign(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    double v = (ys_[i] - y_mean_) / y_scale_;
+    for (size_t k = 0; k < i; ++k) {
+      v -= chol_[i * n + k] * alpha_[k];
+    }
+    alpha_[i] = v / chol_[i * n + i];
+  }
+  for (size_t ii = n; ii > 0; --ii) {
+    const size_t i = ii - 1;
+    double v = alpha_[i];
+    for (size_t k = i + 1; k < n; ++k) {
+      v -= chol_[k * n + i] * alpha_[k];
+    }
+    alpha_[i] = v / chol_[i * n + i];
+  }
+  fitted_ = true;
+}
+
+GaussianProcess::Prediction GaussianProcess::Predict(const std::vector<double>& x) const {
+  BSCHED_CHECK(static_cast<int>(x.size()) == dims_);
+  const size_t n = xs_.size();
+  if (n == 0) {
+    return Prediction{0.0, hyper_.signal_var};
+  }
+  if (!fitted_) {
+    Fit();
+  }
+  std::vector<double> kstar(n);
+  for (size_t i = 0; i < n; ++i) {
+    kstar[i] = Kernel(xs_[i], x);
+  }
+  double mean = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    mean += kstar[i] * alpha_[i];
+  }
+  // v = L^-1 k*, predictive variance = k** - v'v.
+  std::vector<double> v(n);
+  for (size_t i = 0; i < n; ++i) {
+    double s = kstar[i];
+    for (size_t k = 0; k < i; ++k) {
+      s -= chol_[i * n + k] * v[k];
+    }
+    v[i] = s / chol_[i * n + i];
+  }
+  double var = Kernel(x, x);
+  for (size_t i = 0; i < n; ++i) {
+    var -= v[i] * v[i];
+  }
+  var = std::max(var, 0.0);
+  return Prediction{mean * y_scale_ + y_mean_, var * y_scale_ * y_scale_};
+}
+
+double NormalPdf(double z) { return std::exp(-0.5 * z * z) / std::sqrt(2.0 * M_PI); }
+
+double NormalCdf(double z) { return 0.5 * std::erfc(-z / std::sqrt(2.0)); }
+
+double ExpectedImprovement(double mean, double variance, double best, double xi) {
+  const double sigma = std::sqrt(std::max(variance, 0.0));
+  if (sigma < 1e-12) {
+    return std::max(mean - best - xi, 0.0);
+  }
+  const double z = (mean - best - xi) / sigma;
+  return (mean - best - xi) * NormalCdf(z) + sigma * NormalPdf(z);
+}
+
+}  // namespace bsched

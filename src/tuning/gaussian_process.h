@@ -1,0 +1,69 @@
+// Gaussian-process regression with a squared-exponential kernel — the
+// surrogate model behind the Bayesian-Optimization auto-tuner (§4.3). Inputs
+// live in the unit hypercube; observations are internally standardized.
+// Dense Cholesky solves are fine here: auto-tuning uses tens of samples.
+#ifndef SRC_TUNING_GAUSSIAN_PROCESS_H_
+#define SRC_TUNING_GAUSSIAN_PROCESS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace bsched {
+
+class GaussianProcess {
+ public:
+  struct Hyper {
+    // SE kernel length scale (same for every dimension; inputs are in [0,1]).
+    double lengthscale = 0.25;
+    double signal_var = 1.0;
+    // Observation noise variance, in standardized-y units. Training-speed
+    // profiling is jittery, so this is deliberately non-negligible.
+    double noise_var = 1e-2;
+  };
+
+  struct Prediction {
+    double mean = 0.0;
+    double variance = 0.0;
+  };
+
+  explicit GaussianProcess(int dims) : GaussianProcess(dims, Hyper()) {}
+  GaussianProcess(int dims, Hyper hyper);
+
+  // Adds one observation y at x (x.size() == dims). Invalidates the fit.
+  void Add(const std::vector<double>& x, double y);
+
+  // Posterior at x, in the original (un-standardized) y units. With no
+  // observations, returns the prior (mean 0, prior variance).
+  Prediction Predict(const std::vector<double>& x) const;
+
+  size_t num_samples() const { return xs_.size(); }
+  double best_y() const;
+
+ private:
+  double Kernel(const std::vector<double>& a, const std::vector<double>& b) const;
+  void Fit() const;
+
+  int dims_;
+  Hyper hyper_;
+  std::vector<std::vector<double>> xs_;
+  std::vector<double> ys_;
+
+  // Lazily (re)computed fit state.
+  mutable bool fitted_ = false;
+  mutable double y_mean_ = 0.0;
+  mutable double y_scale_ = 1.0;
+  mutable std::vector<double> chol_;   // lower-triangular Cholesky of K+σ²I
+  mutable std::vector<double> alpha_;  // (K+σ²I)^-1 (y - mean)
+};
+
+// Standard normal pdf/cdf used by acquisition functions.
+double NormalPdf(double z);
+double NormalCdf(double z);
+
+// Expected Improvement of a maximization problem at a point with posterior
+// (mean, variance), given the best observed value and exploration weight xi.
+double ExpectedImprovement(double mean, double variance, double best, double xi);
+
+}  // namespace bsched
+
+#endif  // SRC_TUNING_GAUSSIAN_PROCESS_H_

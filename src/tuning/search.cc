@@ -1,0 +1,170 @@
+#include "src/tuning/search.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace bsched {
+namespace {
+
+double Clip01(double v) { return std::clamp(v, 0.0, 1.0); }
+
+}  // namespace
+
+// ---- BayesianOptimizer ------------------------------------------------------
+
+BayesianOptimizer::BayesianOptimizer(int dims, uint64_t seed, Options options)
+    : dims_(dims), options_(options), rng_(seed), gp_(dims, options.gp) {
+  BSCHED_CHECK(options_.init_samples >= 1);
+  BSCHED_CHECK(options_.candidates >= 1);
+}
+
+std::vector<double> BayesianOptimizer::Suggest() {
+  std::vector<double> x(dims_);
+  if (gp_.num_samples() < static_cast<size_t>(options_.init_samples)) {
+    for (double& v : x) {
+      v = rng_.NextDouble();
+    }
+    return x;
+  }
+  // Maximize Expected Improvement over random candidates.
+  const double best = gp_.best_y();
+  double best_ei = -1.0;
+  std::vector<double> cand(dims_);
+  for (int c = 0; c < options_.candidates; ++c) {
+    for (double& v : cand) {
+      v = rng_.NextDouble();
+    }
+    const GaussianProcess::Prediction p = gp_.Predict(cand);
+    // xi is relative to the objective scale; use |best| as the scale anchor.
+    const double xi = options_.xi * std::abs(best);
+    const double ei = ExpectedImprovement(p.mean, p.variance, best, xi);
+    if (ei > best_ei) {
+      best_ei = ei;
+      x = cand;
+    }
+  }
+  return x;
+}
+
+void BayesianOptimizer::Observe(const std::vector<double>& x, double y) { gp_.Add(x, y); }
+
+// ---- RandomSearch -----------------------------------------------------------
+
+RandomSearch::RandomSearch(int dims, uint64_t seed) : dims_(dims), rng_(seed) {}
+
+std::vector<double> RandomSearch::Suggest() {
+  std::vector<double> x(dims_);
+  for (double& v : x) {
+    v = rng_.NextDouble();
+  }
+  return x;
+}
+
+// ---- GridSearch -------------------------------------------------------------
+
+GridSearch::GridSearch(int dims, int points_per_dim)
+    : dims_(dims), points_per_dim_(points_per_dim) {
+  BSCHED_CHECK(points_per_dim_ >= 2);
+}
+
+int GridSearch::total_points() const {
+  int64_t total = 1;
+  for (int d = 0; d < dims_; ++d) {
+    total *= points_per_dim_;
+  }
+  return static_cast<int>(total);
+}
+
+std::vector<double> GridSearch::Suggest() {
+  int64_t idx = next_++ % total_points();
+  std::vector<double> x(dims_);
+  for (int d = 0; d < dims_; ++d) {
+    const int i = static_cast<int>(idx % points_per_dim_);
+    idx /= points_per_dim_;
+    x[d] = static_cast<double>(i) / (points_per_dim_ - 1);
+  }
+  return x;
+}
+
+// ---- SgdMomentumSearch ------------------------------------------------------
+
+SgdMomentumSearch::SgdMomentumSearch(int dims, uint64_t seed, Options options)
+    : dims_(dims), options_(options), rng_(seed) {
+  Restart();
+}
+
+void SgdMomentumSearch::Restart() {
+  current_.assign(dims_, 0.0);
+  for (double& v : current_) {
+    v = rng_.NextDouble();
+  }
+  velocity_.assign(dims_, 0.0);
+  gradient_.assign(dims_, 0.0);
+  have_current_ = false;
+  probe_dim_ = 0;
+  stalls_ = 0;
+}
+
+std::vector<double> SgdMomentumSearch::Suggest() {
+  if (!have_current_) {
+    return current_;
+  }
+  if (probe_dim_ < dims_) {
+    // Forward-difference probe along one axis (flipped near the boundary).
+    std::vector<double> probe = current_;
+    const double delta =
+        (current_[probe_dim_] + options_.probe_delta <= 1.0) ? options_.probe_delta
+                                                             : -options_.probe_delta;
+    probe[probe_dim_] = Clip01(current_[probe_dim_] + delta);
+    return probe;
+  }
+  // All probes collected: momentum step along the normalized gradient.
+  double norm = 0.0;
+  for (double g : gradient_) {
+    norm += g * g;
+  }
+  norm = std::sqrt(norm);
+  std::vector<double> next(dims_);
+  for (int d = 0; d < dims_; ++d) {
+    const double dir = norm > 1e-12 ? gradient_[d] / norm : 0.0;
+    velocity_[d] = options_.momentum * velocity_[d] + options_.step * dir;
+    next[d] = Clip01(current_[d] + velocity_[d]);
+  }
+  return next;
+}
+
+void SgdMomentumSearch::Observe(const std::vector<double>& x, double y) {
+  best_seen_ = std::max(best_seen_, y);
+  if (!have_current_) {
+    current_ = x;
+    current_y_ = y;
+    have_current_ = true;
+    probe_dim_ = 0;
+    gradient_.assign(dims_, 0.0);
+    return;
+  }
+  if (probe_dim_ < dims_) {
+    const double delta = x[probe_dim_] - current_[probe_dim_];
+    gradient_[probe_dim_] = std::abs(delta) > 1e-12 ? (y - current_y_) / delta : 0.0;
+    ++probe_dim_;
+    return;
+  }
+  // Step result: accept unconditionally (plain SGD), track stalls, and
+  // restart from a random point when stuck in a local optimum.
+  if (y <= current_y_) {
+    ++stalls_;
+  } else {
+    stalls_ = 0;
+  }
+  current_ = x;
+  current_y_ = y;
+  probe_dim_ = 0;
+  gradient_.assign(dims_, 0.0);
+  if (stalls_ >= options_.stall_restart) {
+    Restart();
+  }
+}
+
+}  // namespace bsched

@@ -1,0 +1,211 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/stats.h"
+#include "src/common/table.h"
+#include "src/common/units.h"
+
+namespace bsched {
+namespace {
+
+TEST(SimTimeTest, ConstructorsAndConversions) {
+  EXPECT_EQ(SimTime::Nanos(5).nanos(), 5);
+  EXPECT_EQ(SimTime::Micros(3).nanos(), 3000);
+  EXPECT_EQ(SimTime::Millis(2).nanos(), 2'000'000);
+  EXPECT_EQ(SimTime::Seconds(1.5).nanos(), 1'500'000'000);
+  EXPECT_DOUBLE_EQ(SimTime::Seconds(2.0).ToSeconds(), 2.0);
+  EXPECT_DOUBLE_EQ(SimTime::Millis(5).ToMillis(), 5.0);
+  EXPECT_DOUBLE_EQ(SimTime::Micros(7).ToMicros(), 7.0);
+}
+
+TEST(SimTimeTest, Arithmetic) {
+  SimTime a = SimTime::Micros(10);
+  SimTime b = SimTime::Micros(4);
+  EXPECT_EQ((a + b).nanos(), 14'000);
+  EXPECT_EQ((a - b).nanos(), 6'000);
+  EXPECT_EQ((b * 3).nanos(), 12'000);
+  a += b;
+  EXPECT_EQ(a.nanos(), 14'000);
+}
+
+TEST(SimTimeTest, Comparison) {
+  EXPECT_LT(SimTime::Micros(1), SimTime::Micros(2));
+  EXPECT_EQ(SimTime::Millis(1), SimTime::Micros(1000));
+  EXPECT_GT(SimTime::Max(), SimTime::Seconds(1e9));
+}
+
+TEST(SimTimeTest, ToStringPicksUnit) {
+  EXPECT_EQ(SimTime::Nanos(12).ToString(), "12ns");
+  EXPECT_EQ(SimTime::Micros(12).ToString(), "12.000us");
+  EXPECT_EQ(SimTime::Millis(12).ToString(), "12.000ms");
+  EXPECT_EQ(SimTime::Seconds(1.25).ToString(), "1.250s");
+}
+
+TEST(BytesTest, Helpers) {
+  EXPECT_EQ(KiB(1), 1024);
+  EXPECT_EQ(MiB(1), 1024 * 1024);
+  EXPECT_EQ(GiB(2), 2LL * 1024 * 1024 * 1024);
+  EXPECT_EQ(FormatBytes(512), "512B");
+  EXPECT_EQ(FormatBytes(KiB(2)), "2.00KiB");
+  EXPECT_EQ(FormatBytes(MiB(3)), "3.00MiB");
+}
+
+TEST(BandwidthTest, GbpsConversion) {
+  Bandwidth b = Bandwidth::Gbps(10);
+  EXPECT_DOUBLE_EQ(b.bytes_per_sec(), 1.25e9);
+  EXPECT_DOUBLE_EQ(b.ToGbps(), 10.0);
+}
+
+TEST(BandwidthTest, TransmitTime) {
+  Bandwidth b = Bandwidth::Gbps(8);  // 1 GB/s
+  EXPECT_EQ(b.TransmitTime(1'000'000'000).nanos(), 1'000'000'000);
+  EXPECT_EQ(b.TransmitTime(1000).nanos(), 1000);
+}
+
+TEST(BandwidthTest, ZeroBandwidthNeverCompletes) {
+  Bandwidth b;
+  EXPECT_EQ(b.TransmitTime(1), SimTime::Max());
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextU64() == b.NextU64()) {
+      ++same;
+    }
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10'000; ++i) {
+    double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, UniformIntBoundsInclusive) {
+  Rng rng(9);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 10'000; ++i) {
+    int64_t v = rng.UniformInt(3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+    saw_lo |= (v == 3);
+    saw_hi |= (v == 7);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(11);
+  RunningStats s;
+  for (int i = 0; i < 50'000; ++i) {
+    s.Add(rng.Gaussian(5.0, 2.0));
+  }
+  EXPECT_NEAR(s.mean(), 5.0, 0.05);
+  EXPECT_NEAR(s.stddev(), 2.0, 0.05);
+}
+
+TEST(RngTest, ForkDecorrelates) {
+  Rng parent(123);
+  Rng child = parent.Fork();
+  // Child stream should not reproduce the parent stream.
+  Rng parent2(123);
+  (void)parent2.NextU64();  // advance past the fork draw
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (child.NextU64() == parent2.NextU64()) {
+      ++same;
+    }
+  }
+  EXPECT_LE(same, 1);
+}
+
+TEST(RunningStatsTest, Empty) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStatsTest, KnownValues) {
+  RunningStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    s.Add(v);
+  }
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+}
+
+TEST(PercentileTest, Basics) {
+  std::vector<double> v = {1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(Percentile(v, 0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 50), 3.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 100), 5.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 25), 2.0);
+  EXPECT_DOUBLE_EQ(Percentile({}, 50), 0.0);
+  EXPECT_DOUBLE_EQ(Percentile({42.0}, 99), 42.0);
+}
+
+TEST(MeanStdDevTest, Vector) {
+  std::vector<double> v = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(Mean(v), 2.0);
+  EXPECT_DOUBLE_EQ(StdDev(v), 1.0);
+}
+
+TEST(TableTest, AsciiRendering) {
+  Table t({"name", "value"});
+  t.AddRow({"a", "1"});
+  t.AddRow({"bb", "22"});
+  std::ostringstream os;
+  t.RenderAscii(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("| name | value |"), std::string::npos);
+  EXPECT_NE(out.find("| bb   | 22    |"), std::string::npos);
+}
+
+TEST(TableTest, CsvRendering) {
+  Table t({"x", "y"});
+  t.AddNumericRow("r", {1.25, 2.5}, 2);
+  std::ostringstream os;
+  t.RenderCsv(os);
+  EXPECT_EQ(os.str(), "x,y\nr,1.25\n");
+}
+
+TEST(TableTest, RowPaddedToHeaderWidth) {
+  Table t({"a", "b", "c"});
+  t.AddRow({"only"});
+  std::ostringstream os;
+  t.RenderCsv(os);
+  EXPECT_EQ(os.str(), "a,b,c\nonly,,\n");
+}
+
+TEST(TableTest, NumFormatting) {
+  EXPECT_EQ(Table::Num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::Num(10.0, 0), "10");
+}
+
+}  // namespace
+}  // namespace bsched

@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/net/link.h"
+#include "src/net/transport.h"
+#include "src/sim/simulator.h"
+
+namespace bsched {
+namespace {
+
+TEST(TransportTest, IdealHasNoOverhead) {
+  TransportModel t = TransportModel::Ideal();
+  EXPECT_EQ(t.TotalOverhead().nanos(), 0);
+  Bandwidth line = Bandwidth::Gbps(8);  // 1 GB/s
+  EXPECT_EQ(t.MessageTime(line, 1'000'000).nanos(), 1'000'000);
+}
+
+TEST(TransportTest, TcpAddsOverheadAndCapsGoodput) {
+  TransportModel t = TransportModel::Tcp();
+  // At 1 Gbps the cap is irrelevant; efficiency 0.9 applies.
+  Bandwidth low = Bandwidth::Gbps(1);
+  EXPECT_DOUBLE_EQ(t.EffectiveRate(low).ToGbps(), 0.9);
+  // At 100 Gbps the per-connection cap dominates.
+  Bandwidth high = Bandwidth::Gbps(100);
+  EXPECT_DOUBLE_EQ(t.EffectiveRate(high).ToGbps(), 34.0);
+  // Total per-message overhead is the paper's ~300us, split between a serial
+  // stack component and pipelined latency.
+  EXPECT_EQ(t.TotalOverhead(), SimTime::Micros(300));
+  EXPECT_LT(t.serial_overhead, t.latency);
+}
+
+TEST(TransportTest, RdmaSaturatesFastLinks) {
+  TransportModel t = TransportModel::Rdma();
+  Bandwidth high = Bandwidth::Gbps(100);
+  EXPECT_DOUBLE_EQ(t.EffectiveRate(high).ToGbps(), 95.0);
+  EXPECT_LT(t.TotalOverhead(), TransportModel::Tcp().TotalOverhead());
+}
+
+TEST(TransportTest, MessageTimeIsTransmitPlusSerialOverhead) {
+  TransportModel t = TransportModel::Rdma();
+  Bandwidth line = Bandwidth::Gbps(80);  // effective 76 Gbps = 9.5 GB/s
+  SimTime msg = t.MessageTime(line, 9'500'000);
+  EXPECT_EQ(msg, SimTime::Micros(1000) + t.serial_overhead);
+}
+
+TEST(LinkTest, SerializesMessagesFifo) {
+  Simulator sim;
+  Link link(&sim, "l", Bandwidth::Gbps(8), TransportModel::Ideal());
+  std::vector<int64_t> deliveries;
+  link.Send(1'000'000, [&] { deliveries.push_back(sim.Now().nanos()); });  // 1ms
+  link.Send(2'000'000, [&] { deliveries.push_back(sim.Now().nanos()); });  // +2ms
+  sim.Run();
+  EXPECT_EQ(deliveries, (std::vector<int64_t>{1'000'000, 3'000'000}));
+  EXPECT_EQ(link.bytes_sent(), 3'000'000);
+  EXPECT_EQ(link.messages_sent(), 2u);
+}
+
+TEST(LinkTest, OverheadPaidPerMessage) {
+  Simulator sim;
+  TransportModel t = TransportModel::Ideal();
+  t.serial_overhead = SimTime::Micros(100);
+  Link link(&sim, "l", Bandwidth::Gbps(8), t);
+  SimTime last;
+  for (int i = 0; i < 4; ++i) {
+    link.Send(1'000'000, [&] { last = sim.Now(); });
+  }
+  sim.Run();
+  // 4 x (1ms + 100us)
+  EXPECT_EQ(last, SimTime::Micros(4400));
+}
+
+TEST(LinkTest, SmallPartitionsWasteBandwidth) {
+  // Sending 8 MB as 1 message vs 128 messages: the partitioned send pays
+  // 128 overheads. This is the partition-overhead penalty of §4.1.
+  auto total_time = [](int num_parts) {
+    Simulator sim;
+    TransportModel t = TransportModel::Ideal();
+    t.serial_overhead = SimTime::Micros(300);
+    Link link(&sim, "l", Bandwidth::Gbps(8), t);
+    const Bytes total = MiB(8);
+    for (int i = 0; i < num_parts; ++i) {
+      link.Send(total / num_parts, nullptr);
+    }
+    sim.Run();
+    return sim.Now();
+  };
+  SimTime one = total_time(1);
+  SimTime many = total_time(128);
+  EXPECT_EQ((many - one), SimTime::Micros(300) * 127);
+}
+
+TEST(DuplexLinkTest, DirectionsAreIndependent) {
+  Simulator sim;
+  DuplexLink nic(&sim, "nic", Bandwidth::Gbps(8), TransportModel::Ideal());
+  SimTime up_done;
+  SimTime down_done;
+  nic.up().Send(1'000'000, [&] { up_done = sim.Now(); });
+  nic.down().Send(1'000'000, [&] { down_done = sim.Now(); });
+  sim.Run();
+  // Full duplex: both finish at 1ms, not serialized to 2ms.
+  EXPECT_EQ(up_done, SimTime::Millis(1));
+  EXPECT_EQ(down_done, SimTime::Millis(1));
+}
+
+TEST(LinkTest, LatencyPipelinesAcrossMessages) {
+  // Two back-to-back messages: occupancy serializes but latency overlaps,
+  // so the second delivery lags the first by exactly one occupancy.
+  Simulator sim;
+  TransportModel t = TransportModel::Ideal();
+  t.latency = SimTime::Micros(500);
+  Link link(&sim, "l", Bandwidth::Gbps(8), t);
+  std::vector<int64_t> deliveries;
+  link.Send(1'000'000, [&] { deliveries.push_back(sim.Now().nanos()); });
+  link.Send(1'000'000, [&] { deliveries.push_back(sim.Now().nanos()); });
+  sim.Run();
+  ASSERT_EQ(deliveries.size(), 2u);
+  EXPECT_EQ(deliveries[0], 1'500'000);  // 1ms occupancy + 500us latency
+  EXPECT_EQ(deliveries[1], 2'500'000);  // +1ms occupancy only
+}
+
+TEST(LinkTest, SendWithFlushSeparatesFlushFromDelivery) {
+  Simulator sim;
+  TransportModel t = TransportModel::Ideal();
+  t.latency = SimTime::Micros(200);
+  Link link(&sim, "l", Bandwidth::Gbps(8), t);
+  SimTime flushed;
+  SimTime delivered;
+  link.SendWithFlush(
+      1'000'000, [&] { flushed = sim.Now(); }, [&] { delivered = sim.Now(); });
+  sim.Run();
+  EXPECT_EQ(flushed, SimTime::Millis(1));
+  EXPECT_EQ(delivered, SimTime::Millis(1) + SimTime::Micros(200));
+}
+
+TEST(LinkTest, BusyAndQueueLength) {
+  Simulator sim;
+  Link link(&sim, "l", Bandwidth::Gbps(8), TransportModel::Ideal());
+  EXPECT_FALSE(link.busy());
+  link.Send(1'000'000, nullptr);
+  link.Send(1'000'000, nullptr);
+  EXPECT_TRUE(link.busy());
+  EXPECT_EQ(link.queue_length(), 1u);
+  sim.Run();
+  EXPECT_FALSE(link.busy());
+}
+
+}  // namespace
+}  // namespace bsched

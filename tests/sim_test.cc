@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/resource.h"
+#include "src/sim/simulator.h"
+
+namespace bsched {
+namespace {
+
+TEST(SimulatorTest, StartsAtZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.Now().nanos(), 0);
+  EXPECT_TRUE(sim.Empty());
+}
+
+TEST(SimulatorTest, EventsFireInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.Schedule(SimTime::Micros(30), [&] { order.push_back(3); });
+  sim.Schedule(SimTime::Micros(10), [&] { order.push_back(1); });
+  sim.Schedule(SimTime::Micros(20), [&] { order.push_back(2); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.Now(), SimTime::Micros(30));
+}
+
+TEST(SimulatorTest, EqualTimesFifoTieBreak) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.Schedule(SimTime::Micros(5), [&order, i] { order.push_back(i); });
+  }
+  sim.Run();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[i], i);
+  }
+}
+
+TEST(SimulatorTest, NestedScheduling) {
+  Simulator sim;
+  std::vector<int64_t> fire_times;
+  sim.Schedule(SimTime::Micros(1), [&] {
+    fire_times.push_back(sim.Now().nanos());
+    sim.Schedule(SimTime::Micros(2), [&] { fire_times.push_back(sim.Now().nanos()); });
+  });
+  sim.Run();
+  ASSERT_EQ(fire_times.size(), 2u);
+  EXPECT_EQ(fire_times[0], 1000);
+  EXPECT_EQ(fire_times[1], 3000);
+}
+
+TEST(SimulatorTest, RunRespectsDeadline) {
+  Simulator sim;
+  int fired = 0;
+  sim.Schedule(SimTime::Micros(1), [&] { ++fired; });
+  sim.Schedule(SimTime::Micros(10), [&] { ++fired; });
+  sim.Run(SimTime::Micros(5));
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(sim.Empty());
+  sim.Run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulatorTest, EventAtExactDeadlineFires) {
+  Simulator sim;
+  int fired = 0;
+  sim.Schedule(SimTime::Micros(5), [&] { ++fired; });
+  sim.Run(SimTime::Micros(5));
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(SimulatorTest, CancelPreventsFiring) {
+  Simulator sim;
+  int fired = 0;
+  EventHandle h = sim.Schedule(SimTime::Micros(1), [&] { ++fired; });
+  h.Cancel();
+  sim.Run();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(SimulatorTest, CancelAfterFireIsHarmless) {
+  Simulator sim;
+  int fired = 0;
+  EventHandle h = sim.Schedule(SimTime::Micros(1), [&] { ++fired; });
+  sim.Run();
+  h.Cancel();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(SimulatorTest, StepProcessesOneEvent) {
+  Simulator sim;
+  int fired = 0;
+  sim.Schedule(SimTime::Micros(1), [&] { ++fired; });
+  sim.Schedule(SimTime::Micros(2), [&] { ++fired; });
+  EXPECT_TRUE(sim.Step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(sim.Step());
+  EXPECT_EQ(fired, 2);
+  EXPECT_FALSE(sim.Step());
+}
+
+TEST(SimulatorTest, ScheduleAtAbsoluteTime) {
+  Simulator sim;
+  SimTime seen;
+  sim.ScheduleAt(SimTime::Millis(7), [&] { seen = sim.Now(); });
+  sim.Run();
+  EXPECT_EQ(seen, SimTime::Millis(7));
+}
+
+TEST(SimulatorTest, ProcessedEventCount) {
+  Simulator sim;
+  for (int i = 0; i < 5; ++i) {
+    sim.Schedule(SimTime::Micros(i), [] {});
+  }
+  sim.Run();
+  EXPECT_EQ(sim.processed_events(), 5u);
+}
+
+TEST(ResourceTest, IdleResourceStartsImmediately) {
+  Simulator sim;
+  Resource r(&sim, "r");
+  SimTime done_at;
+  r.Submit(SimTime::Micros(10), [&] { done_at = sim.Now(); });
+  EXPECT_TRUE(r.busy());
+  sim.Run();
+  EXPECT_EQ(done_at, SimTime::Micros(10));
+  EXPECT_FALSE(r.busy());
+}
+
+TEST(ResourceTest, JobsSerializeFifo) {
+  Simulator sim;
+  Resource r(&sim, "r");
+  std::vector<int64_t> done_times;
+  for (int i = 0; i < 3; ++i) {
+    r.Submit(SimTime::Micros(10), [&] { done_times.push_back(sim.Now().nanos()); });
+  }
+  EXPECT_EQ(r.queue_length(), 2u);
+  sim.Run();
+  EXPECT_EQ(done_times, (std::vector<int64_t>{10'000, 20'000, 30'000}));
+  EXPECT_EQ(r.jobs_completed(), 3u);
+  EXPECT_EQ(r.busy_time(), SimTime::Micros(30));
+}
+
+TEST(ResourceTest, SubmitFromCompletionCallback) {
+  Simulator sim;
+  Resource r(&sim, "r");
+  SimTime second_done;
+  r.Submit(SimTime::Micros(5), [&] {
+    r.Submit(SimTime::Micros(7), [&] { second_done = sim.Now(); });
+  });
+  sim.Run();
+  EXPECT_EQ(second_done, SimTime::Micros(12));
+}
+
+TEST(ResourceTest, ZeroDurationJob) {
+  Simulator sim;
+  Resource r(&sim, "r");
+  bool done = false;
+  r.Submit(SimTime::Nanos(0), [&] { done = true; });
+  sim.Run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(sim.Now().nanos(), 0);
+}
+
+TEST(ResourceTest, EmptyCallbackAllowed) {
+  Simulator sim;
+  Resource r(&sim, "r");
+  r.Submit(SimTime::Micros(1), nullptr);
+  r.Submit(SimTime::Micros(1), nullptr);
+  sim.Run();
+  EXPECT_EQ(r.jobs_completed(), 2u);
+}
+
+TEST(ResourceTest, DrainTimeAccountsForQueue) {
+  Simulator sim;
+  Resource r(&sim, "r");
+  r.Submit(SimTime::Micros(10), nullptr);
+  r.Submit(SimTime::Micros(5), nullptr);
+  EXPECT_EQ(r.DrainTime(), SimTime::Micros(15));
+  sim.Run();
+  EXPECT_EQ(r.DrainTime(), sim.Now());
+}
+
+TEST(ResourceTest, InterleavedWithOtherResources) {
+  Simulator sim;
+  Resource a(&sim, "a");
+  Resource b(&sim, "b");
+  std::vector<std::string> order;
+  a.Submit(SimTime::Micros(10), [&] { order.push_back("a"); });
+  b.Submit(SimTime::Micros(5), [&] { order.push_back("b"); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<std::string>{"b", "a"}));
+}
+
+}  // namespace
+}  // namespace bsched

@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "src/common/flags.h"
+#include "src/common/trace.h"
+#include "src/model/zoo.h"
+#include "src/runtime/cluster.h"
+#include "src/runtime/training_job.h"
+
+namespace bsched {
+namespace {
+
+TEST(TraceRecorderTest, RecordsSpansAndInstants) {
+  TraceRecorder trace;
+  EXPECT_TRUE(trace.empty());
+  trace.AddSpan("gpu", "f0", SimTime::Micros(10), SimTime::Micros(40));
+  trace.AddInstant("gpu", "marker", SimTime::Micros(50));
+  trace.AddSpan("net", "push", SimTime::Micros(0), SimTime::Micros(100));
+  EXPECT_EQ(trace.num_events(), 3u);
+  EXPECT_EQ(trace.Tracks(), (std::vector<std::string>{"gpu", "net"}));
+}
+
+TEST(TraceRecorderTest, TrackBusyTime) {
+  TraceRecorder trace;
+  trace.AddSpan("gpu", "a", SimTime::Micros(0), SimTime::Micros(30));
+  trace.AddSpan("gpu", "b", SimTime::Micros(40), SimTime::Micros(50));
+  trace.AddInstant("gpu", "i", SimTime::Micros(60));  // no duration
+  EXPECT_EQ(trace.TrackBusyTime("gpu"), SimTime::Micros(40));
+  EXPECT_EQ(trace.TrackBusyTime("absent"), SimTime());
+}
+
+TEST(TraceRecorderTest, ChromeTraceJsonShape) {
+  TraceRecorder trace;
+  trace.AddSpan("track \"x\"", "op\\1", SimTime::Micros(5), SimTime::Micros(9));
+  std::ostringstream os;
+  trace.WriteChromeTrace(os);
+  const std::string json = os.str();
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":4"), std::string::npos);
+  // Quotes/backslashes escaped.
+  EXPECT_NE(json.find("track \\\"x\\\""), std::string::npos);
+  EXPECT_NE(json.find("op\\\\1"), std::string::npos);
+  // Thread-name metadata present.
+  EXPECT_NE(json.find("thread_name"), std::string::npos);
+}
+
+TEST(TraceRecorderTest, JobProducesCoherentTrace) {
+  TraceRecorder trace;
+  JobConfig job;
+  job.model = Vgg16();
+  job.setup = Setup::MxnetPsRdma();
+  job.num_machines = 2;
+  job.bandwidth = Bandwidth::Gbps(100);
+  job.mode = SchedMode::kByteScheduler;
+  job.partition_bytes = MiB(4);
+  job.credit_bytes = MiB(16);
+  job.warmup_iters = 1;
+  job.measure_iters = 2;
+  job.trace = &trace;
+  const JobResult result = RunTrainingJob(job);
+
+  // 2 workers x 3 iterations x 16 layers x (fp + bp) compute spans, plus one
+  // communication span per (worker, layer, iteration).
+  EXPECT_EQ(trace.num_events(), 2u * 3 * 16 * 2 + 2u * 3 * 16);
+  // GPU busy time per worker equals iterations x model compute time.
+  const double gpu_busy = trace.TrackBusyTime("worker0/gpu").ToSeconds();
+  EXPECT_NEAR(gpu_busy, 3 * job.model.TotalComputeTime().ToSeconds(), 1e-6);
+  // Tracing must not perturb the simulation.
+  job.trace = nullptr;
+  EXPECT_EQ(RunTrainingJob(job).avg_iter_time, result.avg_iter_time);
+}
+
+TEST(FlagsTest, KeyValueForms) {
+  const char* argv[] = {"prog", "--alpha=3", "--beta", "7.5", "--gamma", "--delta=hello"};
+  Flags flags(6, argv);
+  EXPECT_EQ(flags.GetInt("alpha", 0), 3);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("beta", 0), 7.5);
+  EXPECT_TRUE(flags.GetBool("gamma", false));
+  EXPECT_EQ(flags.GetString("delta", ""), "hello");
+  EXPECT_FALSE(flags.Has("epsilon"));
+  EXPECT_EQ(flags.GetInt("epsilon", 42), 42);
+}
+
+TEST(FlagsTest, PositionalAndErrors) {
+  const char* argv[] = {"prog", "input.txt", "-x", "--ok=1", "more"};
+  Flags flags(5, argv);
+  EXPECT_EQ(flags.positional(), (std::vector<std::string>{"input.txt", "more"}));
+  EXPECT_EQ(flags.errors(), (std::vector<std::string>{"-x"}));
+  EXPECT_TRUE(flags.Has("ok"));
+}
+
+TEST(FlagsTest, BareFlagBeforeAnotherFlag) {
+  const char* argv[] = {"prog", "--verbose", "--level=2"};
+  Flags flags(3, argv);
+  EXPECT_TRUE(flags.GetBool("verbose", false));
+  EXPECT_EQ(flags.GetInt("level", 0), 2);
+}
+
+TEST(FlagsTest, BoolSpellings) {
+  const char* argv[] = {"prog", "--a=true", "--b=1", "--c=yes", "--d=false", "--e=0"};
+  Flags flags(6, argv);
+  EXPECT_TRUE(flags.GetBool("a", false));
+  EXPECT_TRUE(flags.GetBool("b", false));
+  EXPECT_TRUE(flags.GetBool("c", false));
+  EXPECT_FALSE(flags.GetBool("d", true));
+  EXPECT_FALSE(flags.GetBool("e", true));
+}
+
+TEST(PerLayerPartitionTest, OverridesUniformSize) {
+  JobConfig job;
+  job.model = Vgg16();
+  job.setup = Setup::MxnetPsRdma();
+  job.num_machines = 2;
+  job.bandwidth = Bandwidth::Gbps(100);
+  job.mode = SchedMode::kByteScheduler;
+  job.partition_bytes = MiB(2);
+  job.credit_bytes = MiB(10);
+  job.warmup_iters = 1;
+  job.measure_iters = 2;
+  const JobResult uniform = RunTrainingJob(job);
+
+  // Same sizes expressed per layer: identical result.
+  job.per_layer_partition.assign(job.model.layers.size(), MiB(2));
+  EXPECT_EQ(RunTrainingJob(job).avg_iter_time, uniform.avg_iter_time);
+
+  // Absurd per-layer sizes for the big fc layers: must change (hurt) timing.
+  job.per_layer_partition.assign(job.model.layers.size(), MiB(2));
+  job.per_layer_partition[13] = KiB(16);  // fc6 in 16 KiB pieces
+  const JobResult skewed = RunTrainingJob(job);
+  EXPECT_GT(skewed.avg_iter_time, uniform.avg_iter_time);
+}
+
+}  // namespace
+}  // namespace bsched
