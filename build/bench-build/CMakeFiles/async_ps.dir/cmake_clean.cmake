@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/async_ps"
+  "../bench/async_ps.pdb"
+  "CMakeFiles/async_ps.dir/async_ps.cc.o"
+  "CMakeFiles/async_ps.dir/async_ps.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/async_ps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

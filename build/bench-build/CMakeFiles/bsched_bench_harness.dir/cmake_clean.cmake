@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsched_bench_harness.dir/harness.cc.o"
+  "CMakeFiles/bsched_bench_harness.dir/harness.cc.o.d"
+  "libbsched_bench_harness.a"
+  "libbsched_bench_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsched_bench_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/coschedule"
+  "../bench/coschedule.pdb"
+  "CMakeFiles/coschedule.dir/coschedule.cc.o"
+  "CMakeFiles/coschedule.dir/coschedule.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coschedule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/extra_models"
+  "../bench/extra_models.pdb"
+  "CMakeFiles/extra_models.dir/extra_models.cc.o"
+  "CMakeFiles/extra_models.dir/extra_models.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extra_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig02_contrived"
+  "../bench/fig02_contrived.pdb"
+  "CMakeFiles/fig02_contrived.dir/fig02_contrived.cc.o"
+  "CMakeFiles/fig02_contrived.dir/fig02_contrived.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_contrived.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig04_partition_credit"
+  "../bench/fig04_partition_credit.pdb"
+  "CMakeFiles/fig04_partition_credit.dir/fig04_partition_credit.cc.o"
+  "CMakeFiles/fig04_partition_credit.dir/fig04_partition_credit.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_partition_credit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig09_bo_trace"
+  "../bench/fig09_bo_trace.pdb"
+  "CMakeFiles/fig09_bo_trace.dir/fig09_bo_trace.cc.o"
+  "CMakeFiles/fig09_bo_trace.dir/fig09_bo_trace.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_bo_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

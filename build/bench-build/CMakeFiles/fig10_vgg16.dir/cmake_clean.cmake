@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_vgg16"
+  "../bench/fig10_vgg16.pdb"
+  "CMakeFiles/fig10_vgg16.dir/fig10_vgg16.cc.o"
+  "CMakeFiles/fig10_vgg16.dir/fig10_vgg16.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_vgg16.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

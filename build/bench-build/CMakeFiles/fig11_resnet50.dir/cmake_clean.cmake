@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_resnet50"
+  "../bench/fig11_resnet50.pdb"
+  "CMakeFiles/fig11_resnet50.dir/fig11_resnet50.cc.o"
+  "CMakeFiles/fig11_resnet50.dir/fig11_resnet50.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_resnet50.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

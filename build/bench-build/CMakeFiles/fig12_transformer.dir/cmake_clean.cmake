@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig12_transformer"
+  "../bench/fig12_transformer.pdb"
+  "CMakeFiles/fig12_transformer.dir/fig12_transformer.cc.o"
+  "CMakeFiles/fig12_transformer.dir/fig12_transformer.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_transformer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig14_search_cost"
+  "../bench/fig14_search_cost.pdb"
+  "CMakeFiles/fig14_search_cost.dir/fig14_search_cost.cc.o"
+  "CMakeFiles/fig14_search_cost.dir/fig14_search_cost.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_search_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_best_params"
+  "../bench/table1_best_params.pdb"
+  "CMakeFiles/table1_best_params.dir/table1_best_params.cc.o"
+  "CMakeFiles/table1_best_params.dir/table1_best_params.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_best_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autotune_cluster.dir/autotune_cluster.cpp.o"
+  "CMakeFiles/autotune_cluster.dir/autotune_cluster.cpp.o.d"
+  "autotune_cluster"
+  "autotune_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autotune_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bschedctl.dir/bschedctl.cpp.o"
+  "CMakeFiles/bschedctl.dir/bschedctl.cpp.o.d"
+  "bschedctl"
+  "bschedctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bschedctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_framework.dir/multi_framework.cpp.o"
+  "CMakeFiles/multi_framework.dir/multi_framework.cpp.o.d"
+  "multi_framework"
+  "multi_framework.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_framework.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsched_comm.dir/allreduce_backend.cc.o"
+  "CMakeFiles/bsched_comm.dir/allreduce_backend.cc.o.d"
+  "CMakeFiles/bsched_comm.dir/ps_backend.cc.o"
+  "CMakeFiles/bsched_comm.dir/ps_backend.cc.o.d"
+  "libbsched_comm.a"
+  "libbsched_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsched_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsched_common.dir/flags.cc.o"
+  "CMakeFiles/bsched_common.dir/flags.cc.o.d"
+  "CMakeFiles/bsched_common.dir/rng.cc.o"
+  "CMakeFiles/bsched_common.dir/rng.cc.o.d"
+  "CMakeFiles/bsched_common.dir/stats.cc.o"
+  "CMakeFiles/bsched_common.dir/stats.cc.o.d"
+  "CMakeFiles/bsched_common.dir/table.cc.o"
+  "CMakeFiles/bsched_common.dir/table.cc.o.d"
+  "CMakeFiles/bsched_common.dir/trace.cc.o"
+  "CMakeFiles/bsched_common.dir/trace.cc.o.d"
+  "CMakeFiles/bsched_common.dir/units.cc.o"
+  "CMakeFiles/bsched_common.dir/units.cc.o.d"
+  "libbsched_common.a"
+  "libbsched_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsched_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

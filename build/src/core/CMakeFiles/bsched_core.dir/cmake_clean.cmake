@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsched_core.dir/scheduler_core.cc.o"
+  "CMakeFiles/bsched_core.dir/scheduler_core.cc.o.d"
+  "libbsched_core.a"
+  "libbsched_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsched_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsched_core_types.dir/comm_task.cc.o"
+  "CMakeFiles/bsched_core_types.dir/comm_task.cc.o.d"
+  "libbsched_core_types.a"
+  "libbsched_core_types.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsched_core_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsched_engine.dir/dag_engine.cc.o"
+  "CMakeFiles/bsched_engine.dir/dag_engine.cc.o.d"
+  "CMakeFiles/bsched_engine.dir/imperative_engine.cc.o"
+  "CMakeFiles/bsched_engine.dir/imperative_engine.cc.o.d"
+  "CMakeFiles/bsched_engine.dir/proxy.cc.o"
+  "CMakeFiles/bsched_engine.dir/proxy.cc.o.d"
+  "libbsched_engine.a"
+  "libbsched_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsched_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsched_model.dir/profile.cc.o"
+  "CMakeFiles/bsched_model.dir/profile.cc.o.d"
+  "CMakeFiles/bsched_model.dir/zoo.cc.o"
+  "CMakeFiles/bsched_model.dir/zoo.cc.o.d"
+  "libbsched_model.a"
+  "libbsched_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsched_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsched_net.dir/link.cc.o"
+  "CMakeFiles/bsched_net.dir/link.cc.o.d"
+  "CMakeFiles/bsched_net.dir/transport.cc.o"
+  "CMakeFiles/bsched_net.dir/transport.cc.o.d"
+  "libbsched_net.a"
+  "libbsched_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsched_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

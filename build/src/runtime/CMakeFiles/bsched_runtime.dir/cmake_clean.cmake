@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsched_runtime.dir/cluster.cc.o"
+  "CMakeFiles/bsched_runtime.dir/cluster.cc.o.d"
+  "CMakeFiles/bsched_runtime.dir/training_job.cc.o"
+  "CMakeFiles/bsched_runtime.dir/training_job.cc.o.d"
+  "libbsched_runtime.a"
+  "libbsched_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsched_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

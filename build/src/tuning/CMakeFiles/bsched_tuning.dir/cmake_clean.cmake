@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsched_tuning.dir/auto_tuner.cc.o"
+  "CMakeFiles/bsched_tuning.dir/auto_tuner.cc.o.d"
+  "CMakeFiles/bsched_tuning.dir/gaussian_process.cc.o"
+  "CMakeFiles/bsched_tuning.dir/gaussian_process.cc.o.d"
+  "CMakeFiles/bsched_tuning.dir/search.cc.o"
+  "CMakeFiles/bsched_tuning.dir/search.cc.o.d"
+  "libbsched_tuning.a"
+  "libbsched_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsched_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_flags_test.dir/trace_flags_test.cc.o"
+  "CMakeFiles/trace_flags_test.dir/trace_flags_test.cc.o.d"
+  "trace_flags_test"
+  "trace_flags_test.pdb"
+  "trace_flags_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_flags_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
