@@ -4,14 +4,31 @@
 //
 // Build & run:  cmake -B build -G Ninja && cmake --build build
 //               ./build/examples/quickstart
+//
+// Pass `--chaos[=seed]` to rerun the ByteScheduler job under deterministic
+// fault injection (message drops, latency spikes, stragglers, slow shards)
+// and print the recovery statistics.
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 #include "src/model/zoo.h"
 #include "src/runtime/cluster.h"
 #include "src/runtime/training_job.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace bsched;
+
+  bool chaos = false;
+  uint64_t chaos_seed = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--chaos") == 0) {
+      chaos = true;
+    } else if (std::strncmp(argv[i], "--chaos=", 8) == 0) {
+      chaos = true;
+      chaos_seed = std::strtoull(argv[i] + 8, nullptr, 10);
+    }
+  }
 
   JobConfig job;
   job.model = Vgg16();
@@ -42,5 +59,14 @@ int main() {
   std::printf("  linear scaling : %8.1f images/sec\n", linear);
   std::printf("  speedup        : %+.1f%%\n",
               100.0 * (scheduled.samples_per_sec / baseline.samples_per_sec - 1.0));
+
+  if (chaos) {
+    job.chaos = FaultPlanConfig::Chaos(chaos_seed);
+    const JobResult chaotic = RunTrainingJob(job);
+    std::printf("  chaos (seed %llu): %8.1f images/sec (%+.1f%% vs fault-free)\n",
+                static_cast<unsigned long long>(chaos_seed), chaotic.samples_per_sec,
+                100.0 * (chaotic.samples_per_sec / scheduled.samples_per_sec - 1.0));
+    std::printf("    %s\n", chaotic.fault_stats.DebugString().c_str());
+  }
   return 0;
 }

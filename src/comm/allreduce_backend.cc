@@ -33,6 +33,9 @@ AllReduceBackend::AllReduceBackend(Simulator* sim, const AllReduceConfig& config
     : sim_(sim), config_(config), ring_(std::make_unique<Resource>(sim, "ring")) {
   BSCHED_CHECK(sim_ != nullptr);
   BSCHED_CHECK(config_.num_workers >= 1);
+  if (config_.faults != nullptr) {
+    ring_site_hash_ = FaultPlan::HashSite("ring");
+  }
 }
 
 SimTime AllReduceBackend::RingTime(Bytes bytes) const {
@@ -57,6 +60,16 @@ void AllReduceBackend::Start(const SubCommTask& subtask, std::function<void()> o
     const int64_t cycle = config_.nego_cycle.nanos();
     const int64_t now = sim_->Now().nanos();
     wait = SimTime(((now + cycle - 1) / cycle) * cycle - now);
+  }
+  if (config_.faults != nullptr) {
+    const FaultInjector::MessageFault fate =
+        config_.faults->OnMessageSend(ring_site_hash_, sim_->Now());
+    if (fate.drop) {
+      // The collective launch is lost (e.g. a worker missed the negotiation);
+      // the master Core's timeout recovery relaunches the operation.
+      return;
+    }
+    wait += fate.delay;
   }
   // The launch/negotiation phase runs host-side, concurrently with whatever
   // the ring is currently transferring; the ring pass itself serializes.

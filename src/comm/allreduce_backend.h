@@ -13,10 +13,12 @@
 #ifndef SRC_COMM_ALLREDUCE_BACKEND_H_
 #define SRC_COMM_ALLREDUCE_BACKEND_H_
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 
 #include "src/comm/backend.h"
+#include "src/fault/fault_injector.h"
 #include "src/net/transport.h"
 #include "src/sim/resource.h"
 #include "src/sim/simulator.h"
@@ -38,6 +40,12 @@ struct AllReduceConfig {
   // pre-decides one global order (§5), which removes the per-tensor
   // negotiation; set 0 to disable.
   SimTime nego_cycle;
+
+  // Fault injection (null disables it). A dropped "message" models a failed
+  // collective launch: the operation never completes and the scheduling
+  // Core's timeout/retry recovery relaunches it. Delays model transient ring
+  // congestion before the operation enters the ring.
+  FaultInjector* faults = nullptr;
 
   // NCCL-like presets; latencies depend on the transport.
   static AllReduceConfig Nccl(int num_workers, Bandwidth link_rate,
@@ -61,6 +69,7 @@ class AllReduceBackend : public CommBackend {
   Simulator* sim_;
   AllReduceConfig config_;
   std::unique_ptr<Resource> ring_;
+  uint64_t ring_site_hash_ = 0;
 };
 
 }  // namespace bsched

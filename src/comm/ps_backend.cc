@@ -27,6 +27,14 @@ PsBackend::PsBackend(Simulator* sim, const PsConfig& config) : sim_(sim), config
                                                config_.transport));
     shard_cpus_.push_back(std::make_unique<Resource>(sim, name + ".cpu"));
   }
+  if (config_.faults != nullptr) {
+    BSCHED_CHECK(config_.retry_backoff >= 1.0);
+    BSCHED_CHECK(config_.max_push_retries >= 0);
+    for (auto& link : uplinks_) link->SetFaultInjector(config_.faults);
+    for (auto& link : downlinks_) link->SetFaultInjector(config_.faults);
+    for (auto& link : ingresses_) link->SetFaultInjector(config_.faults);
+    for (auto& link : egresses_) link->SetFaultInjector(config_.faults);
+  }
 }
 
 int PsBackend::ShardFor(int64_t tensor_id, int partition) const {
@@ -56,9 +64,14 @@ void PsBackend::HandlePush(const SubCommTask& subtask, std::function<void()> on_
   uplinks_[subtask.worker]->SendWithFlush(
       subtask.bytes,
       /*on_flushed=*/
-      [this, on_finish = std::move(on_finish)]() mutable {
+      [this, subtask, shard, on_finish = std::move(on_finish)]() mutable {
         // Sender-side completion (the stack flushed the partition): this is
         // what returns scheduler credit, after a small completion latency.
+        // From here the data leg is the backend's responsibility; with faults
+        // enabled an ack timer guarantees it eventually reaches the shard.
+        if (config_.faults != nullptr) {
+          ArmPushAckTimer(subtask, shard, /*attempt=*/0);
+        }
         sim_->Schedule(config_.control_latency, std::move(on_finish));
       },
       /*on_delivered=*/
@@ -70,11 +83,61 @@ void PsBackend::HandlePush(const SubCommTask& subtask, std::function<void()> on_
       });
 }
 
-void PsBackend::OnPushArrived(const SubCommTask& subtask, int shard) {
-  SlotState& slot = slots_[{subtask.tensor_id, subtask.partition}];
+void PsBackend::SendPushData(const SubCommTask& subtask, int shard) {
+  // Retransmission path: re-occupies the uplink (a resend spends real
+  // bandwidth) but carries no flush callback — credit was already returned.
+  uplinks_[subtask.worker]->Send(subtask.bytes, [this, subtask, shard]() {
+    ingresses_[shard]->Send(subtask.bytes,
+                            [this, subtask, shard] { OnPushArrived(subtask, shard); });
+  });
+}
+
+void PsBackend::ArmPushAckTimer(const SubCommTask& subtask, int shard, int attempt) {
+  const AckKey key{subtask.tensor_id, subtask.partition, subtask.worker};
+  EventHandle& pending = pending_acks_[key];
+  // Supersede a stale timer left by a previous aggregation round of the same
+  // (tensor, partition, worker) slot (async mode reuses keys freely).
+  pending.Cancel();
+  double scale = 1.0;
+  for (int i = 0; i < attempt; ++i) {
+    scale *= config_.retry_backoff;
+  }
+  const SimTime timeout = SimTime(
+      static_cast<int64_t>(static_cast<double>(config_.push_ack_timeout.nanos()) * scale));
+  pending = sim_->Schedule(timeout, [this, subtask, shard, attempt]() {
+    pending_acks_.erase(AckKey{subtask.tensor_id, subtask.partition, subtask.worker});
+    BSCHED_CHECK(attempt < config_.max_push_retries &&
+                 "push data leg exhausted its retransmit budget");
+    ++push_retransmits_;
+    if (config_.faults != nullptr) {
+      config_.faults->RecordBackendRetransmit(subtask.worker, subtask.layer, subtask.partition,
+                                              attempt + 1);
+    }
+    ArmPushAckTimer(subtask, shard, attempt + 1);
+    SendPushData(subtask, shard);
+  });
+}
+
+SimTime PsBackend::ScaledUpdateTime(int shard, Bytes bytes) const {
   const SimTime update_time =
-      SimTime::Seconds(static_cast<double>(subtask.bytes) / config_.update_bytes_per_sec) +
+      SimTime::Seconds(static_cast<double>(bytes) / config_.update_bytes_per_sec) +
       config_.update_fixed_overhead;
+  if (config_.faults != nullptr) {
+    return config_.faults->ScaleShard(shard, update_time);
+  }
+  return update_time;
+}
+
+void PsBackend::OnPushArrived(const SubCommTask& subtask, int shard) {
+  if (config_.faults != nullptr) {
+    auto ack = pending_acks_.find(AckKey{subtask.tensor_id, subtask.partition, subtask.worker});
+    if (ack != pending_acks_.end()) {
+      ack->second.Cancel();
+      pending_acks_.erase(ack);
+    }
+  }
+  SlotState& slot = slots_[{subtask.tensor_id, subtask.partition}];
+  const SimTime update_time = ScaledUpdateTime(shard, subtask.bytes);
   if (!config_.synchronous) {
     // Async PS: apply each worker's gradient on arrival; parameters become
     // pullable after the first update.
@@ -93,11 +156,13 @@ void PsBackend::OnPushArrived(const SubCommTask& subtask, int shard) {
     });
     return;
   }
-  ++slot.arrivals;
-  if (slot.arrivals < config_.num_workers) {
+  // A set, not a counter: a retransmitted copy racing its merely-delayed
+  // original must not count the same worker twice within a round.
+  slot.arrived.insert(subtask.worker);
+  if (static_cast<int>(slot.arrived.size()) < config_.num_workers) {
     return;
   }
-  slot.arrivals = 0;
+  slot.arrived.clear();
   // All workers' gradients for this partition arrived: run the update, then
   // release any pulls that were admitted early.
   shard_cpus_[shard]->Submit(update_time, [this, shard, tensor = subtask.tensor_id,
@@ -135,7 +200,13 @@ void PsBackend::DeliverPull(int shard, int worker, Bytes bytes, std::function<vo
   });
 }
 
-void PsBackend::ResetAggregationState() { slots_.clear(); }
+void PsBackend::ResetAggregationState() {
+  slots_.clear();
+  for (auto& [key, handle] : pending_acks_) {
+    handle.Cancel();
+  }
+  pending_acks_.clear();
+}
 
 Bytes PsBackend::shard_bytes_in(int shard) const {
   BSCHED_CHECK(shard >= 0 && shard < config_.num_shards);
@@ -166,12 +237,17 @@ std::string PsBackend::DebugString() const {
   int waiting_slots = 0;
   for (const auto& [key, slot] : slots_) {
     pending_pulls += static_cast<int>(slot.pending_pulls.size());
-    if (slot.arrivals > 0) {
+    if (!slot.arrived.empty()) {
       ++waiting_slots;
     }
   }
-  return "ps pending_pulls=" + std::to_string(pending_pulls) +
-         " slots_awaiting_arrivals=" + std::to_string(waiting_slots);
+  std::string out = "ps pending_pulls=" + std::to_string(pending_pulls) +
+                    " slots_awaiting_arrivals=" + std::to_string(waiting_slots);
+  if (config_.faults != nullptr) {
+    out += " unacked_pushes=" + std::to_string(pending_acks_.size()) +
+           " retransmits=" + std::to_string(push_retransmits_);
+  }
+  return out;
 }
 
 }  // namespace bsched

@@ -15,17 +15,32 @@
 // completion latency, as in ps-lite's engine callbacks. A stop-and-wait
 // scheduler (P3) pays that per-partition gap serially and cannot fill the
 // pipe; the credit mechanism (§4.2) keeps multiple partitions in flight.
+//
+// Fault tolerance: because a push reports success to the scheduler at sender
+// flush, a gradient lost *after* the flush is invisible to the Core — so the
+// backend itself guarantees worker->shard delivery. With fault injection
+// enabled, every push data leg arms an ack timer keyed by (tensor, partition,
+// worker); if the shard has not seen the copy when it fires, the leg is
+// retransmitted with exponential backoff and bounded retries. Shards dedupe
+// arrivals per worker within an aggregation round, so a retransmit racing a
+// merely-delayed original cannot inflate the arrival count. (A stale copy
+// surviving into the next round can make that worker's arrival count early —
+// a semantic staleness real async PS systems also accept — but never lose or
+// double-aggregate a round.) Control messages are assumed reliable.
 #ifndef SRC_COMM_PS_BACKEND_H_
 #define SRC_COMM_PS_BACKEND_H_
 
 #include <functional>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
+#include <tuple>
 #include <utility>
 #include <vector>
 
 #include "src/comm/backend.h"
+#include "src/fault/fault_injector.h"
 #include "src/net/link.h"
 #include "src/net/transport.h"
 #include "src/sim/resource.h"
@@ -50,6 +65,15 @@ struct PsConfig {
   // Latency of sender-side completion callbacks and pull-request control
   // messages.
   SimTime control_latency = SimTime::Micros(20);
+
+  // Fault injection (null disables it and all recovery machinery; the
+  // fault-free event sequence is then byte-identical to a faultless build).
+  FaultInjector* faults = nullptr;
+  // Push data-leg ack timeout; retransmits back off by retry_backoff^attempt
+  // up to max_push_retries. Only armed when `faults` is set.
+  SimTime push_ack_timeout = SimTime::Millis(25);
+  double retry_backoff = 2.0;
+  int max_push_retries = 12;
 };
 
 class PsBackend : public CommBackend {
@@ -86,20 +110,30 @@ class PsBackend : public CommBackend {
   Link& worker_uplink(int worker) { return *uplinks_[worker]; }
   Link& worker_downlink(int worker) { return *downlinks_[worker]; }
 
+  // Retransmissions attempted for lost push data legs (0 without faults).
+  uint64_t push_retransmits() const { return push_retransmits_; }
+
  private:
   // Aggregation state for one (layer, partition) slot on its shard.
   struct SlotState {
-    int arrivals = 0;
+    // Workers whose gradient copy arrived this aggregation round; a set (not
+    // a count) so retransmitted duplicates cannot inflate the round.
+    std::set<int> arrived;
     bool aggregated = false;
     // Pull deliveries admitted before aggregation completed.
     std::vector<std::pair<int, std::function<void()>>> pending_pulls;
   };
+
+  using AckKey = std::tuple<int64_t, int, int>;  // (tensor, partition, worker)
 
   int ShardFor(int64_t tensor_id, int partition) const;
   void HandlePush(const SubCommTask& subtask, std::function<void()> on_finish);
   void HandlePull(const SubCommTask& subtask, std::function<void()> on_finish);
   void OnPushArrived(const SubCommTask& subtask, int shard);
   void DeliverPull(int shard, int worker, Bytes bytes, std::function<void()> on_finish);
+  void SendPushData(const SubCommTask& subtask, int shard);
+  void ArmPushAckTimer(const SubCommTask& subtask, int shard, int attempt);
+  SimTime ScaledUpdateTime(int shard, Bytes bytes) const;
 
   Simulator* sim_;
   PsConfig config_;
@@ -112,6 +146,9 @@ class PsBackend : public CommBackend {
   std::vector<std::unique_ptr<Resource>> shard_cpus_;
   std::map<std::pair<int64_t, int>, SlotState> slots_;  // keyed by (tensor, partition)
   std::vector<std::function<void(int64_t tensor_id, int partition)>> listeners_;
+  // Un-acked push data legs awaiting shard arrival (faults enabled only).
+  std::map<AckKey, EventHandle> pending_acks_;
+  uint64_t push_retransmits_ = 0;
 };
 
 }  // namespace bsched

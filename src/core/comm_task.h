@@ -85,6 +85,24 @@ struct SchedulerConfig {
     kPriority,  // ByteScheduler / P3: layer-priority admission
   };
 
+  // Recovery policy for lost or stalled subtasks (fault injection): a started
+  // subtask that has not completed within `timeout` has its charged credit
+  // restored and is requeued at its original priority; the next attempt waits
+  // timeout * backoff^attempts. A completion arriving after its attempt timed
+  // out is ignored (counted as late). Recovery also requires a Simulator to
+  // arm timers on; timeout 0 (the default) disables it entirely, keeping the
+  // fault-free event sequence byte-identical.
+  struct RetryPolicy {
+    SimTime timeout;
+    double backoff = 2.0;
+    // Retries after the first attempt; exhausting them calls `on_abandon`,
+    // or aborts if unset (a silently leaked partition wedges training).
+    int max_retries = 12;
+    std::function<void(const SubCommTask&)> on_abandon;
+
+    bool enabled() const { return timeout.nanos() > 0; }
+  };
+
   static constexpr Bytes kUnlimited = std::numeric_limits<Bytes>::max();
 
   Policy policy = Policy::kPriority;
@@ -92,6 +110,8 @@ struct SchedulerConfig {
   Bytes partition_bytes = MiB(4);
   // Credit size c for credit-based preemption (§4.2), in bytes.
   Bytes credit_bytes = MiB(16);
+  // Subtask timeout/retry recovery; disabled by default.
+  RetryPolicy retry;
 
   static constexpr Bytes kNoPartition = 0;
 

@@ -4,13 +4,25 @@
 #include <utility>
 
 #include "src/common/check.h"
+#include "src/fault/fault_injector.h"
 
 namespace bsched {
 
-SchedulerCore::SchedulerCore(SchedulerConfig config, CommBackend* backend, int worker_id)
-    : config_(config), backend_(backend), worker_id_(worker_id), credit_(config.credit_bytes) {
+SchedulerCore::SchedulerCore(SchedulerConfig config, CommBackend* backend, int worker_id,
+                             Simulator* sim, FaultInjector* faults)
+    : config_(std::move(config)),
+      backend_(backend),
+      worker_id_(worker_id),
+      sim_(sim),
+      faults_(faults),
+      credit_(config_.credit_bytes) {
   BSCHED_CHECK(backend_ != nullptr);
   BSCHED_CHECK(config_.credit_bytes > 0);
+  if (config_.retry.enabled()) {
+    BSCHED_CHECK(sim_ != nullptr && "retry recovery needs a Simulator for timeout timers");
+    BSCHED_CHECK(config_.retry.backoff >= 1.0);
+    BSCHED_CHECK(config_.retry.max_retries >= 0);
+  }
 }
 
 CommTaskId SchedulerCore::Enqueue(CommTaskDesc desc) {
@@ -93,7 +105,7 @@ void SchedulerCore::EnqueueReady(TaskState& state, CommTaskId id, int partition)
   subtask.partition = partition;
   subtask.bytes = state.partition_bytes[partition];
   subtask.type = state.desc.type;
-  queue_.emplace(KeyFor(subtask), subtask);
+  queue_.emplace(KeyFor(subtask), QueuedSubTask{subtask, 0});
 }
 
 void SchedulerCore::TrySchedule() {
@@ -104,7 +116,7 @@ void SchedulerCore::TrySchedule() {
   }
   scheduling_ = true;
   while (!queue_.empty()) {
-    const SubCommTask& head = queue_.begin()->second;
+    const SubCommTask& head = queue_.begin()->second.subtask;
     // Credits model the *sender's* buffer (§4.2): pushes and all-reduce
     // operations fill it; pull responses are sent by the server and consume
     // the server-side egress queue instead, so they admit freely.
@@ -117,15 +129,105 @@ void SchedulerCore::TrySchedule() {
     if (!can_start) {
       break;
     }
-    SubCommTask subtask = head;
+    const SubTaskKey key = queue_.begin()->first;
+    QueuedSubTask entry = std::move(queue_.begin()->second);
     queue_.erase(queue_.begin());
-    const Bytes charged = charges_credit ? std::min(subtask.bytes, credit_) : 0;
+    const Bytes charged = charges_credit ? std::min(entry.subtask.bytes, credit_) : 0;
     credit_ -= charged;
+    BSCHED_DCHECK(credit_ >= 0);
     ++subtasks_started_;
-    backend_->Start(subtask,
-                    [this, subtask, charged]() { OnSubTaskFinish(subtask, charged); });
+    StartAttempt(entry.subtask, key, charged, entry.attempts);
   }
   scheduling_ = false;
+}
+
+SimTime SchedulerCore::AttemptTimeout(int attempts) const {
+  double scale = 1.0;
+  for (int i = 0; i < attempts; ++i) {
+    scale *= config_.retry.backoff;
+  }
+  return SimTime(static_cast<int64_t>(static_cast<double>(config_.retry.timeout.nanos()) * scale));
+}
+
+void SchedulerCore::StartAttempt(const SubCommTask& subtask, const SubTaskKey& key, Bytes charged,
+                                 int attempts) {
+  if (!recovery_enabled()) {
+    backend_->Start(subtask,
+                    [this, subtask, charged]() { OnSubTaskFinish(subtask, charged); });
+    return;
+  }
+  const uint64_t generation = ++next_generation_;
+  const auto inflight_key = std::make_pair(subtask.task, subtask.partition);
+  InFlight& fl = inflight_[inflight_key];
+  fl.subtask = subtask;
+  fl.key = key;
+  fl.charged = charged;
+  fl.attempts = attempts;
+  fl.generation = generation;
+  fl.timeout = sim_->Schedule(
+      AttemptTimeout(attempts),
+      [this, task = subtask.task, partition = subtask.partition, generation]() {
+        OnAttemptTimeout(task, partition, generation);
+      });
+  backend_->Start(subtask,
+                  [this, task = subtask.task, partition = subtask.partition, generation]() {
+                    OnAttemptFinish(task, partition, generation);
+                  });
+}
+
+void SchedulerCore::OnAttemptFinish(CommTaskId task, int partition, uint64_t generation) {
+  auto it = inflight_.find({task, partition});
+  if (it == inflight_.end() || it->second.generation != generation) {
+    // A delayed copy of an attempt that already timed out (and was retried)
+    // or of a partition that already finished: the message was late, not
+    // lost. Counting it would double-finish the partition and leak credit.
+    ++late_completions_;
+    if (faults_ != nullptr) {
+      faults_->RecordLateCompletion();
+    }
+    return;
+  }
+  InFlight fl = std::move(it->second);
+  inflight_.erase(it);
+  fl.timeout.Cancel();
+  OnSubTaskFinish(fl.subtask, fl.charged);
+}
+
+void SchedulerCore::OnAttemptTimeout(CommTaskId task, int partition, uint64_t generation) {
+  auto it = inflight_.find({task, partition});
+  if (it == inflight_.end() || it->second.generation != generation) {
+    return;  // stale timer (attempt completed; Cancel raced the pop)
+  }
+  InFlight fl = std::move(it->second);
+  inflight_.erase(it);
+  ++timeouts_fired_;
+  // Credit restoration: the lost attempt's bytes are no longer in flight.
+  credit_ += fl.charged;
+  BSCHED_DCHECK(credit_ <= config_.credit_bytes);
+  if (faults_ != nullptr) {
+    faults_->RecordCoreTimeout(fl.subtask.worker, fl.subtask.layer, fl.subtask.partition,
+                               fl.attempts + 1, fl.charged);
+  }
+  if (fl.attempts >= config_.retry.max_retries) {
+    ++subtasks_abandoned_;
+    if (faults_ != nullptr) {
+      faults_->RecordAbandon();
+    }
+    if (config_.retry.on_abandon) {
+      config_.retry.on_abandon(fl.subtask);
+      TrySchedule();  // the freed credit may admit queued work
+      return;
+    }
+    BSCHED_CHECK(false && "subtask exhausted its retry budget; no on_abandon handler");
+  }
+  ++retries_;
+  if (faults_ != nullptr) {
+    faults_->RecordCoreRetry();
+  }
+  // Requeue at the ORIGINAL priority key: the retry competes exactly where
+  // the partition always belonged, not behind newer arrivals.
+  queue_.emplace(fl.key, QueuedSubTask{fl.subtask, fl.attempts + 1});
+  TrySchedule();
 }
 
 void SchedulerCore::OnSubTaskFinish(SubCommTask subtask, Bytes charged) {
@@ -162,10 +264,17 @@ std::string SchedulerCore::DebugString() const {
                     " queued=" + std::to_string(queue_.size()) +
                     " unfinished_tasks=" + std::to_string(tasks_.size());
   if (!queue_.empty()) {
-    const SubCommTask& head = queue_.begin()->second;
+    const SubCommTask& head = queue_.begin()->second.subtask;
     out += " head=(layer=" + std::to_string(head.layer) + " " + ToString(head.type) +
            " part=" + std::to_string(head.partition) + " bytes=" + std::to_string(head.bytes) +
            ")";
+  }
+  if (recovery_enabled()) {
+    out += " retry(timeouts=" + std::to_string(timeouts_fired_) +
+           " retries=" + std::to_string(retries_) +
+           " late=" + std::to_string(late_completions_) +
+           " abandoned=" + std::to_string(subtasks_abandoned_) +
+           " inflight=" + std::to_string(inflight_.size()) + ")";
   }
   return out;
 }

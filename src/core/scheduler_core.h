@@ -6,7 +6,13 @@
 // The Core is framework- and communication-method-agnostic: it sees only
 // CommTaskDescs from plugins and a CommBackend to start partitions on. It is
 // also simulator-agnostic — purely callback-driven — so unit tests drive it
-// with a mock backend.
+// with a mock backend. The optional recovery layer (SchedulerConfig::retry)
+// is the one exception: arming per-subtask timeouts needs a clock, so a
+// Simulator is injected when recovery is enabled. On timeout the charged
+// credit is restored, the partition is requeued at its original priority,
+// and the next attempt backs off exponentially; completions of timed-out
+// attempts are recognized by generation and ignored, so a delayed (rather
+// than lost) message can never double-finish a partition or leak credit.
 #ifndef SRC_CORE_SCHEDULER_CORE_H_
 #define SRC_CORE_SCHEDULER_CORE_H_
 
@@ -14,16 +20,23 @@
 #include <functional>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/comm/backend.h"
 #include "src/core/comm_task.h"
+#include "src/sim/simulator.h"
 
 namespace bsched {
 
+class FaultInjector;
+
 class SchedulerCore {
  public:
-  SchedulerCore(SchedulerConfig config, CommBackend* backend, int worker_id = 0);
+  // `sim` is required only when config.retry is enabled; `faults` (optional)
+  // receives recovery events for global fault statistics and trace output.
+  SchedulerCore(SchedulerConfig config, CommBackend* backend, int worker_id = 0,
+                Simulator* sim = nullptr, FaultInjector* faults = nullptr);
   SchedulerCore(const SchedulerCore&) = delete;
   SchedulerCore& operator=(const SchedulerCore&) = delete;
 
@@ -41,7 +54,8 @@ class SchedulerCore {
 
   int NumPartitions(CommTaskId id) const;
 
-  // Human-readable scheduler state (queue head, credit) for diagnostics.
+  // Human-readable scheduler state (queue head, credit, recovery counters)
+  // for diagnostics.
   std::string DebugString() const;
 
   // Live scheduler state (used by tests and by auto-tuning instrumentation).
@@ -53,6 +67,13 @@ class SchedulerCore {
   const SchedulerConfig& config() const { return config_; }
   int worker_id() const { return worker_id_; }
 
+  // Recovery counters (all zero when retry is disabled or no fault fired).
+  uint64_t timeouts_fired() const { return timeouts_fired_; }
+  uint64_t retries() const { return retries_; }
+  uint64_t late_completions() const { return late_completions_; }
+  uint64_t subtasks_abandoned() const { return subtasks_abandoned_; }
+  size_t subtasks_in_flight() const { return inflight_.size(); }
+
  private:
   struct TaskState {
     CommTaskDesc desc;
@@ -61,25 +82,58 @@ class SchedulerCore {
     int partitions_finished = 0;
   };
 
+  // Queue entry: the subtask plus how many attempts have already timed out
+  // (0 for first admissions; requeued retries carry their attempt count).
+  struct QueuedSubTask {
+    SubCommTask subtask;
+    int attempts = 0;
+  };
+
+  // One admitted subtask being watched by the recovery layer.
+  struct InFlight {
+    SubCommTask subtask;
+    SubTaskKey key;  // original priority key, reused on requeue
+    Bytes charged = 0;
+    int attempts = 0;        // 0-based attempt index
+    uint64_t generation = 0; // stale-completion filter
+    EventHandle timeout;
+  };
+
+  bool recovery_enabled() const { return config_.retry.enabled() && sim_ != nullptr; }
+  SimTime AttemptTimeout(int attempts) const;
+
   SubTaskKey KeyFor(const SubCommTask& subtask);
   void EnqueueReady(TaskState& state, CommTaskId id, int partition);
   void TrySchedule();
+  void StartAttempt(const SubCommTask& subtask, const SubTaskKey& key, Bytes charged,
+                    int attempts);
+  void OnAttemptFinish(CommTaskId task, int partition, uint64_t generation);
+  void OnAttemptTimeout(CommTaskId task, int partition, uint64_t generation);
   void OnSubTaskFinish(SubCommTask subtask, Bytes charged);
 
   SchedulerConfig config_;
   CommBackend* backend_;
   int worker_id_;
+  Simulator* sim_;
+  FaultInjector* faults_;
 
   CommTaskId next_task_id_ = 0;
   uint64_t next_arrival_seq_ = 0;
+  uint64_t next_generation_ = 0;
   Bytes credit_;
   std::map<CommTaskId, TaskState> tasks_;
   // Ready SubCommTasks ordered by priority key; begin() is the head.
-  std::map<SubTaskKey, SubCommTask> queue_;
+  std::map<SubTaskKey, QueuedSubTask> queue_;
+  // Admitted subtasks under timeout watch, keyed by (task, partition).
+  std::map<std::pair<CommTaskId, int>, InFlight> inflight_;
   bool scheduling_ = false;
 
   uint64_t subtasks_started_ = 0;
   uint64_t tasks_finished_ = 0;
+  uint64_t timeouts_fired_ = 0;
+  uint64_t retries_ = 0;
+  uint64_t late_completions_ = 0;
+  uint64_t subtasks_abandoned_ = 0;
 };
 
 }  // namespace bsched

@@ -11,6 +11,11 @@ void Link::Send(Bytes size, std::function<void()> on_delivered) {
   SendWithFlush(size, nullptr, std::move(on_delivered));
 }
 
+void Link::SetFaultInjector(FaultInjector* faults) {
+  faults_ = faults;
+  site_hash_ = FaultPlan::HashSite(resource_.name());
+}
+
 void Link::SendWithFlush(Bytes size, std::function<void()> on_flushed,
                          std::function<void()> on_delivered) {
   bytes_sent_ += size;
@@ -23,12 +28,22 @@ void Link::SendWithFlush(Bytes size, std::function<void()> on_flushed,
     if (!on_delivered) {
       return;
     }
-    if (latency.nanos() == 0) {
+    SimTime total = latency;
+    if (faults_ != nullptr) {
+      // Fault fate is decided at flush time: the sender's NIC accepted the
+      // message, but the wire may lose or delay it.
+      const FaultInjector::MessageFault fate = faults_->OnMessageSend(site_hash_, sim_->Now());
+      if (fate.drop) {
+        return;  // lost in the network; recovery retransmits
+      }
+      total += fate.delay;
+    }
+    if (total.nanos() == 0) {
       on_delivered();
     } else {
       // Delivery completes after the pipelined latency; the link itself is
       // already free for the next message.
-      sim_->Schedule(latency, std::move(on_delivered));
+      sim_->Schedule(total, std::move(on_delivered));
     }
   });
 }

@@ -10,6 +10,7 @@
 #include <string>
 
 #include "src/common/units.h"
+#include "src/fault/fault_injector.h"
 #include "src/net/transport.h"
 #include "src/sim/resource.h"
 #include "src/sim/simulator.h"
@@ -43,6 +44,14 @@ class Link {
   uint64_t messages_sent() const { return resource_.jobs_completed(); }
   size_t queue_length() const { return resource_.queue_length(); }
   bool busy() const { return resource_.busy(); }
+  const std::string& name() const { return resource_.name(); }
+
+  // Fault injection: when set, every delivery consults the injector at flush
+  // time — a dropped message pays its occupancy (the sender flushed it) but
+  // never delivers; delayed messages add the injected latency on the wire.
+  // Null (the default) keeps the exact fault-free event sequence.
+  void SetFaultInjector(FaultInjector* faults);
+  FaultInjector* fault_injector() const { return faults_; }
 
  private:
   Simulator* sim_;
@@ -50,6 +59,8 @@ class Link {
   TransportModel transport_;
   Resource resource_;
   Bytes bytes_sent_ = 0;
+  FaultInjector* faults_ = nullptr;
+  uint64_t site_hash_ = 0;
 };
 
 // The two directions of one NIC.
@@ -60,6 +71,11 @@ class DuplexLink {
 
   Link& up() { return up_; }
   Link& down() { return down_; }
+
+  void SetFaultInjector(FaultInjector* faults) {
+    up_.SetFaultInjector(faults);
+    down_.SetFaultInjector(faults);
+  }
 
  private:
   Link up_;

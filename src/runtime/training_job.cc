@@ -64,6 +64,13 @@ class TrainingJob {
   TrainingJob(const JobConfig& config, const Shared& shared)
       : config_(config), shared_(shared) {
     sim_ = shared_.sim != nullptr ? shared_.sim : &owned_sim_;
+    if (config_.chaos.has_value()) {
+      // Chaos owns its whole substrate: a shared fabric would splice one
+      // job's fault episodes into every co-scheduled job's timeline.
+      BSCHED_CHECK(shared_.sim == nullptr && shared_.ps == nullptr &&
+                   "chaos mode is unsupported with shared (co-scheduled) infrastructure");
+      faults_ = std::make_unique<FaultInjector>(*config_.chaos, sim_, config_.trace);
+    }
     if (shared_.ps != nullptr) {
       BSCHED_CHECK(config_.setup.arch == ArchType::kPs);
       BSCHED_CHECK(shared_.ps->config().num_workers == config_.num_machines);
@@ -139,6 +146,12 @@ class TrainingJob {
         ps.link_rate = config_.bandwidth;
         ps.transport = config_.setup.transport;
         ps.synchronous = !config_.ps_async;
+        if (faults_ != nullptr) {
+          ps.faults = faults_.get();
+          ps.push_ack_timeout = config_.chaos->retry_timeout;
+          ps.retry_backoff = config_.chaos->retry_backoff;
+          ps.max_push_retries = config_.chaos->max_retries;
+        }
         owned_ps_ = std::make_unique<PsBackend>(sim_, ps);
         ps_ = owned_ps_.get();
       }
@@ -194,6 +207,9 @@ class TrainingJob {
         // Core removes that per-tensor negotiation (§5).
         ar.nego_cycle = SimTime::Millis(5);
       }
+      if (faults_ != nullptr) {
+        ar.faults = faults_.get();
+      }
       ar_ = std::make_unique<AllReduceBackend>(sim_, ar);
       backend_ = ar_.get();
     }
@@ -207,11 +223,18 @@ class TrainingJob {
       cores_ = shared_.cores;
       return;
     }
-    const SchedulerConfig sched = SchedulerConfigFor(config_);
+    SchedulerConfig sched = SchedulerConfigFor(config_);
+    if (faults_ != nullptr) {
+      // Arm the Cores' timeout/retry recovery with the plan's retry knobs.
+      sched.retry.timeout = config_.chaos->retry_timeout;
+      sched.retry.backoff = config_.chaos->retry_backoff;
+      sched.retry.max_retries = config_.chaos->max_retries;
+    }
     // All-reduce: a single master Core decides the (global) operation order.
     const int num_cores = (config_.setup.arch == ArchType::kPs) ? sim_workers_ : 1;
     for (int w = 0; w < num_cores; ++w) {
-      owned_cores_.push_back(std::make_unique<SchedulerCore>(sched, backend_, w));
+      owned_cores_.push_back(
+          std::make_unique<SchedulerCore>(sched, backend_, w, sim_, faults_.get()));
       cores_.push_back(owned_cores_.back().get());
     }
   }
@@ -239,7 +262,12 @@ class TrainingJob {
     return [this, gpu, worker, duration, name = std::move(name),
             bp_end_iter](DagEngine::Done done) {
       const SimTime queued_at = sim_->Now();
-      gpu->Submit(duration, [this, worker, queued_at, name, bp_end_iter,
+      SimTime effective = duration;
+      if (faults_ != nullptr) {
+        // Straggler episode: this worker's kernels run slower for a while.
+        effective = faults_->ScaleCompute(worker, effective);
+      }
+      gpu->Submit(effective, [this, worker, queued_at, name, bp_end_iter,
                              done = std::move(done)] {
         if (bp_end_iter >= 0) {
           RecordBpEnd(bp_end_iter);
@@ -632,6 +660,12 @@ class TrainingJob {
       result.subtasks_started += core->subtasks_started();
     }
     result.iter_end_times = iter_bp_end_;
+    if (faults_ != nullptr) {
+      result.fault_stats = faults_->stats();
+    }
+    for (const auto& core : cores_) {
+      result.subtasks_abandoned += core->subtasks_abandoned();
+    }
     const SimTime start = iter_bp_end_[config_.warmup_iters - 1];
     const SimTime end = iter_bp_end_[total_iters_ - 1];
     const double span_sec = (end - start).ToSeconds();
@@ -654,6 +688,7 @@ class TrainingJob {
 
   Simulator owned_sim_;
   Simulator* sim_ = nullptr;
+  std::unique_ptr<FaultInjector> faults_;
   std::unique_ptr<PsBackend> owned_ps_;
   PsBackend* ps_ = nullptr;
   std::unique_ptr<AllReduceBackend> ar_;
@@ -690,6 +725,7 @@ std::vector<JobResult> RunCoscheduledPsJobs(const std::vector<JobConfig>& jobs,
     BSCHED_CHECK(job.num_machines == first.num_machines);
     BSCHED_CHECK(job.bandwidth == first.bandwidth);
     BSCHED_CHECK(job.ps_async == first.ps_async);
+    BSCHED_CHECK(!job.chaos.has_value() && "chaos mode is unsupported for co-scheduled jobs");
   }
 
   Simulator sim;

@@ -13,6 +13,8 @@
 #include "src/common/trace.h"
 #include "src/common/units.h"
 #include "src/core/comm_task.h"
+#include "src/fault/fault_injector.h"
+#include "src/fault/fault_plan.h"
 #include "src/model/profile.h"
 #include "src/runtime/cluster.h"
 
@@ -49,6 +51,15 @@ struct JobConfig {
   // PS-only: asynchronous push/pull (no cross-worker aggregation wait).
   bool ps_async = false;
 
+  // Deterministic fault injection ("chaos mode"): seeded episodes of message
+  // drops, latency spikes, link-down windows, compute stragglers and shard
+  // slowdowns, recovered by subtask timeout/retry in the Cores and push
+  // retransmission in the PS backend. Unset (the default) leaves every fault
+  // hook disarmed — the simulation is event-for-event identical to a build
+  // without the fault fabric. Not supported for co-scheduled jobs sharing
+  // infrastructure.
+  std::optional<FaultPlanConfig> chaos;
+
   int warmup_iters = 2;
   int measure_iters = 6;
 
@@ -69,6 +80,11 @@ struct JobResult {
   uint64_t subtasks_started = 0;
   // Per-iteration BP-finish timestamps (diagnostics / convergence checks).
   std::vector<SimTime> iter_end_times;
+  // Injection and recovery counters (all zero unless JobConfig::chaos set).
+  FaultStats fault_stats;
+  // SubCommTask attempts the Cores abandoned after exhausting retries; always
+  // 0 for a job that ran to completion with the default abort-on-abandon.
+  uint64_t subtasks_abandoned = 0;
 };
 
 // Runs the configured job to completion and reports steady-state speed

@@ -44,6 +44,13 @@ bool Simulator::Step() {
 uint64_t Simulator::Run(SimTime deadline) {
   uint64_t count = 0;
   while (!queue_.empty()) {
+    // Discard cancelled events here rather than letting Step() skip them:
+    // Step() fires the first live event unconditionally, so a cancelled event
+    // at the head would otherwise let an event beyond `deadline` fire.
+    if (*queue_.top().cancelled) {
+      queue_.pop();
+      continue;
+    }
     if (queue_.top().when > deadline) {
       break;
     }

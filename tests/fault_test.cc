@@ -1,0 +1,639 @@
+// Chaos suite for the deterministic fault-injection fabric: plan determinism,
+// injector accounting, SchedulerCore timeout/retry recovery, PS push
+// retransmission, and scheduler invariants under seeded fault grids.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/comm/ps_backend.h"
+#include "src/common/trace.h"
+#include "src/core/scheduler_core.h"
+#include "src/fault/fault_injector.h"
+#include "src/fault/fault_plan.h"
+#include "src/model/zoo.h"
+#include "src/runtime/cluster.h"
+#include "src/runtime/training_job.h"
+#include "src/sim/simulator.h"
+
+namespace bsched {
+namespace {
+
+// ---- FaultPlan ------------------------------------------------------------
+
+TEST(FaultPlanTest, SameSeedProducesIdenticalPlanAndDraws) {
+  const FaultPlanConfig cfg = FaultPlanConfig::Chaos(42);
+  const FaultPlan a(cfg);
+  const FaultPlan b(cfg);
+  ASSERT_EQ(a.episodes().size(), b.episodes().size());
+  for (size_t i = 0; i < a.episodes().size(); ++i) {
+    EXPECT_EQ(a.episodes()[i].kind, b.episodes()[i].kind);
+    EXPECT_EQ(a.episodes()[i].start, b.episodes()[i].start);
+    EXPECT_EQ(a.episodes()[i].end, b.episodes()[i].end);
+    EXPECT_EQ(a.episodes()[i].salt, b.episodes()[i].salt);
+  }
+  const uint64_t site = FaultPlan::HashSite("worker0.up");
+  for (int ms = 0; ms < 600; ms += 7) {
+    const SimTime now = SimTime::Millis(ms);
+    EXPECT_EQ(a.DropMessage(site, ms, now), b.DropMessage(site, ms, now));
+    EXPECT_EQ(a.ExtraLatency(site, now), b.ExtraLatency(site, now));
+    EXPECT_EQ(a.ComputeFactor(1, now), b.ComputeFactor(1, now));
+    EXPECT_EQ(a.ShardFactor(0, now), b.ShardFactor(0, now));
+  }
+}
+
+TEST(FaultPlanTest, ChaosEpisodesMatchConfigAndFitHorizon) {
+  const FaultPlanConfig cfg = FaultPlanConfig::Chaos(3);
+  const FaultPlan plan(cfg);
+  const int expected = cfg.drop_episodes + cfg.latency_episodes + cfg.link_down_episodes +
+                       cfg.straggler_episodes + cfg.shard_slow_episodes;
+  EXPECT_EQ(static_cast<int>(plan.episodes().size()), expected);
+  for (const FaultEpisode& ep : plan.episodes()) {
+    EXPECT_GE(ep.start.nanos(), 0);
+    EXPECT_LT(ep.start, ep.end);
+    EXPECT_LE(ep.end, cfg.horizon);
+  }
+}
+
+TEST(FaultPlanTest, QuietAfterHorizon) {
+  const FaultPlan plan(FaultPlanConfig::Chaos(11));
+  const SimTime later = plan.config().horizon + SimTime::Millis(1);
+  const uint64_t site = FaultPlan::HashSite("shard1.out");
+  for (uint64_t msg = 0; msg < 200; ++msg) {
+    EXPECT_FALSE(plan.DropMessage(site, msg, later));
+  }
+  EXPECT_EQ(plan.ExtraLatency(site, later), SimTime());
+  for (int w = 0; w < 8; ++w) {
+    EXPECT_EQ(plan.ComputeFactor(w, later), 1.0);
+    EXPECT_EQ(plan.ShardFactor(w, later), 1.0);
+  }
+}
+
+TEST(FaultPlanTest, DifferentSeedsProduceDifferentPlans) {
+  const FaultPlan a(FaultPlanConfig::Chaos(1));
+  const FaultPlan b(FaultPlanConfig::Chaos(2));
+  ASSERT_EQ(a.episodes().size(), b.episodes().size());
+  bool any_difference = false;
+  for (size_t i = 0; i < a.episodes().size(); ++i) {
+    any_difference |= a.episodes()[i].start != b.episodes()[i].start;
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(FaultPlanTest, DefaultConfigInjectsNothing) {
+  const FaultPlanConfig cfg;  // zero episodes of every kind
+  EXPECT_TRUE(cfg.empty());
+  const FaultPlan plan(cfg);
+  EXPECT_TRUE(plan.episodes().empty());
+  const uint64_t site = FaultPlan::HashSite("worker0.up");
+  for (int ms = 0; ms < 100; ms += 3) {
+    EXPECT_FALSE(plan.DropMessage(site, ms, SimTime::Millis(ms)));
+    EXPECT_EQ(plan.ExtraLatency(site, SimTime::Millis(ms)), SimTime());
+    EXPECT_EQ(plan.ComputeFactor(0, SimTime::Millis(ms)), 1.0);
+  }
+}
+
+// ---- FaultInjector --------------------------------------------------------
+
+// One certain-drop window covering [0, len) on every site.
+FaultPlanConfig CertainDropPlan(SimTime len) {
+  FaultPlanConfig cfg;
+  cfg.seed = 5;
+  cfg.horizon = len;
+  cfg.site_prob = 1.0;
+  cfg.drop_episodes = 1;
+  cfg.drop_prob = 1.0;
+  cfg.drop_len = len;
+  return cfg;
+}
+
+TEST(FaultInjectorTest, CountsDropsAndMessages) {
+  Simulator sim;
+  FaultInjector faults(CertainDropPlan(SimTime::Millis(10)), &sim);
+  const uint64_t site = FaultPlan::HashSite("worker0.up");
+  const FaultInjector::MessageFault fate = faults.OnMessageSend(site, SimTime());
+  EXPECT_TRUE(fate.drop);
+  EXPECT_EQ(faults.stats().messages_seen, 1u);
+  EXPECT_EQ(faults.stats().drops_injected, 1u);
+  EXPECT_TRUE(faults.stats().any_injected());
+}
+
+TEST(FaultInjectorTest, ExportsPlanToTrace) {
+  Simulator sim;
+  TraceRecorder trace;
+  FaultInjector faults(FaultPlanConfig::Chaos(1), &sim, &trace);
+  const std::vector<std::string> tracks = trace.Tracks();
+  bool has_plan_track = false;
+  for (const std::string& track : tracks) {
+    has_plan_track |= track == "faults/plan";
+  }
+  EXPECT_TRUE(has_plan_track);
+}
+
+// ---- SchedulerCore recovery ----------------------------------------------
+
+// Backend that swallows the first `fail_first` start callbacks (the message
+// is "lost"), keeping them around so tests can fire them late.
+class FlakyBackend : public CommBackend {
+ public:
+  explicit FlakyBackend(int fail_first) : fail_first_(fail_first) {}
+
+  void Start(const SubCommTask& subtask, std::function<void()> on_finish) override {
+    started.push_back(subtask);
+    if (static_cast<int>(started.size()) <= fail_first_) {
+      swallowed.push_back(std::move(on_finish));
+      return;
+    }
+    pending.push_back(std::move(on_finish));
+  }
+
+  void FinishOldest() {
+    ASSERT_FALSE(pending.empty());
+    auto cb = std::move(pending.front());
+    pending.pop_front();
+    cb();
+  }
+
+  std::vector<SubCommTask> started;
+  std::vector<std::function<void()>> swallowed;
+  std::deque<std::function<void()>> pending;
+
+ private:
+  int fail_first_;
+};
+
+SchedulerConfig RetryConfig(Bytes credit, SimTime timeout, double backoff = 2.0,
+                            int max_retries = 12) {
+  SchedulerConfig cfg = SchedulerConfig::ByteScheduler(SchedulerConfig::kNoPartition, credit);
+  cfg.retry.timeout = timeout;
+  cfg.retry.backoff = backoff;
+  cfg.retry.max_retries = max_retries;
+  return cfg;
+}
+
+CommTaskDesc PushDesc(int layer, Bytes bytes) {
+  CommTaskDesc desc;
+  desc.layer = layer;
+  desc.tensor_bytes = bytes;
+  desc.type = CommOpType::kPush;
+  desc.name = "t" + std::to_string(layer);
+  return desc;
+}
+
+TEST(CoreRecoveryTest, TimeoutRestoresCreditAndRetries) {
+  Simulator sim;
+  FlakyBackend backend(/*fail_first=*/1);
+  SchedulerCore core(RetryConfig(MiB(1), SimTime::Millis(10)), &backend, 0, &sim);
+
+  bool finished = false;
+  CommTaskDesc desc = PushDesc(0, KiB(256));
+  desc.on_finish = [&] { finished = true; };
+  core.NotifyReady(core.Enqueue(std::move(desc)));
+  ASSERT_EQ(backend.started.size(), 1u);
+  EXPECT_EQ(core.credit(), core.credit_cap() - KiB(256));
+
+  // The first attempt's message was lost; the timeout requeues and restarts.
+  sim.Run(SimTime::Millis(10));
+  EXPECT_EQ(core.timeouts_fired(), 1u);
+  EXPECT_EQ(core.retries(), 1u);
+  ASSERT_EQ(backend.started.size(), 2u);
+  EXPECT_EQ(core.credit(), core.credit_cap() - KiB(256));  // re-charged for attempt 2
+  EXPECT_FALSE(finished);
+
+  backend.FinishOldest();
+  sim.Run();  // drains the cancelled attempt-2 timer
+  EXPECT_TRUE(finished);
+  EXPECT_EQ(core.credit(), core.credit_cap());
+  EXPECT_EQ(core.subtasks_in_flight(), 0u);
+  EXPECT_EQ(core.tasks_finished(), 1u);
+}
+
+TEST(CoreRecoveryTest, LateCompletionOfTimedOutAttemptIsIgnored) {
+  Simulator sim;
+  FlakyBackend backend(/*fail_first=*/1);
+  SchedulerCore core(RetryConfig(MiB(1), SimTime::Millis(10)), &backend, 0, &sim);
+
+  int finish_count = 0;
+  CommTaskDesc desc = PushDesc(0, KiB(256));
+  desc.on_finish = [&] { ++finish_count; };
+  core.NotifyReady(core.Enqueue(std::move(desc)));
+  sim.Run(SimTime::Millis(10));  // attempt 1 times out, attempt 2 in flight
+  ASSERT_EQ(backend.started.size(), 2u);
+
+  // The "lost" message turns out merely delayed: its completion must not
+  // finish the partition or leak credit.
+  ASSERT_EQ(backend.swallowed.size(), 1u);
+  backend.swallowed[0]();
+  EXPECT_EQ(core.late_completions(), 1u);
+  EXPECT_EQ(finish_count, 0);
+  EXPECT_EQ(core.credit(), core.credit_cap() - KiB(256));
+
+  backend.FinishOldest();
+  sim.Run();
+  EXPECT_EQ(finish_count, 1);
+  EXPECT_EQ(core.credit(), core.credit_cap());
+}
+
+TEST(CoreRecoveryTest, AbandonsAfterRetryBudgetAndReportsSubtask) {
+  Simulator sim;
+  FlakyBackend backend(/*fail_first=*/1000);  // nothing ever completes
+  SchedulerConfig cfg = RetryConfig(MiB(1), SimTime::Millis(1), /*backoff=*/1.0,
+                                    /*max_retries=*/2);
+  std::vector<SubCommTask> abandoned;
+  cfg.retry.on_abandon = [&](const SubCommTask& subtask) { abandoned.push_back(subtask); };
+  SchedulerCore core(cfg, &backend, 0, &sim);
+
+  bool finished = false;
+  CommTaskDesc desc = PushDesc(3, KiB(64));
+  desc.on_finish = [&] { finished = true; };
+  core.NotifyReady(core.Enqueue(std::move(desc)));
+  sim.Run();
+
+  EXPECT_EQ(backend.started.size(), 3u);  // initial + 2 retries
+  EXPECT_EQ(core.timeouts_fired(), 3u);
+  EXPECT_EQ(core.retries(), 2u);
+  EXPECT_EQ(core.subtasks_abandoned(), 1u);
+  ASSERT_EQ(abandoned.size(), 1u);
+  EXPECT_EQ(abandoned[0].layer, 3);
+  EXPECT_FALSE(finished);
+  EXPECT_EQ(core.credit(), core.credit_cap());  // restored even on abandon
+  EXPECT_EQ(core.subtasks_in_flight(), 0u);
+}
+
+TEST(CoreRecoveryTest, RetryKeepsOriginalPriorityOverNewerArrivals) {
+  Simulator sim;
+  FlakyBackend backend(/*fail_first=*/1);
+  // Credit admits exactly one 256 KiB subtask at a time.
+  SchedulerCore core(RetryConfig(KiB(256), SimTime::Millis(10)), &backend, 0, &sim);
+
+  core.NotifyReady(core.Enqueue(PushDesc(0, KiB(256))));
+  core.NotifyReady(core.Enqueue(PushDesc(1, KiB(256))));  // queued behind layer 0
+  ASSERT_EQ(backend.started.size(), 1u);
+  EXPECT_EQ(backend.started[0].layer, 0);
+
+  sim.Run(SimTime::Millis(10));  // layer 0 times out and is requeued
+  // The retry must beat the younger layer-1 subtask: original priority key.
+  ASSERT_EQ(backend.started.size(), 2u);
+  EXPECT_EQ(backend.started[1].layer, 0);
+
+  backend.FinishOldest();  // layer 0 retry completes; layer 1 admitted
+  ASSERT_EQ(backend.started.size(), 3u);
+  EXPECT_EQ(backend.started[2].layer, 1);
+  backend.FinishOldest();
+  sim.Run();
+  EXPECT_EQ(core.credit(), core.credit_cap());
+  EXPECT_EQ(core.tasks_finished(), 2u);
+}
+
+TEST(CoreRecoveryTest, DisabledRecoveryKeepsLegacyBehaviour) {
+  FlakyBackend backend(/*fail_first=*/0);
+  // No Simulator, no retry policy: the pre-recovery code path.
+  SchedulerCore core(SchedulerConfig::ByteScheduler(SchedulerConfig::kNoPartition, MiB(1)),
+                     &backend);
+  bool finished = false;
+  CommTaskDesc desc = PushDesc(0, KiB(128));
+  desc.on_finish = [&] { finished = true; };
+  core.NotifyReady(core.Enqueue(std::move(desc)));
+  backend.FinishOldest();
+  EXPECT_TRUE(finished);
+  EXPECT_EQ(core.timeouts_fired(), 0u);
+  EXPECT_EQ(core.subtasks_in_flight(), 0u);
+}
+
+// ---- PS backend push retransmission ---------------------------------------
+
+TEST(PsRetransmitTest, LostPushDataLegIsRetransmittedAndDeduped) {
+  Simulator sim;
+  // Drops are certain inside [0, 1 ms); the 2 ms ack timeout retransmits
+  // after the window, so exactly one retransmission succeeds.
+  FaultInjector faults(CertainDropPlan(SimTime::Millis(1)), &sim);
+  PsConfig cfg;
+  cfg.num_workers = 1;
+  cfg.num_shards = 1;
+  cfg.faults = &faults;
+  cfg.push_ack_timeout = SimTime::Millis(2);
+  PsBackend ps(&sim, cfg);
+
+  int aggregations = 0;
+  ps.AddAggregationListener([&](int64_t, int) { ++aggregations; });
+
+  SubCommTask push;
+  push.worker = 0;
+  push.layer = 0;
+  push.tensor_id = 0;
+  push.bytes = KiB(64);
+  push.type = CommOpType::kPush;
+  bool push_acked = false;
+  ps.Start(push, [&] { push_acked = true; });
+  sim.Run();
+
+  EXPECT_TRUE(push_acked);  // sender flush succeeded despite the lost data leg
+  EXPECT_EQ(ps.push_retransmits(), 1u);
+  EXPECT_EQ(faults.stats().backend_retransmits, 1u);
+  EXPECT_EQ(aggregations, 1);  // aggregated exactly once
+  EXPECT_NE(ps.DebugString().find("unacked_pushes=0"), std::string::npos);
+
+  // The recovered parameters are pullable.
+  SubCommTask pull = push;
+  pull.type = CommOpType::kPull;
+  bool pulled = false;
+  ps.Start(pull, [&] { pulled = true; });
+  sim.Run();
+  EXPECT_TRUE(pulled);
+}
+
+// ---- chaos invariant grid -------------------------------------------------
+
+// Compressed chaos plan matched to the harness's ~10 ms of simulated traffic.
+FaultPlanConfig HarnessChaos(uint64_t seed) {
+  FaultPlanConfig cfg;
+  cfg.seed = seed;
+  cfg.horizon = SimTime::Millis(10);
+  cfg.site_prob = 0.7;
+  cfg.drop_episodes = 3;
+  cfg.drop_prob = 0.4;
+  cfg.drop_len = SimTime::Millis(2);
+  cfg.latency_episodes = 3;
+  cfg.latency_spike = SimTime::Micros(200);
+  cfg.latency_len = SimTime::Millis(3);
+  cfg.link_down_episodes = 2;
+  cfg.link_down_len = SimTime::Millis(1);
+  cfg.shard_slow_episodes = 2;
+  cfg.shard_slow_factor = 4.0;
+  cfg.shard_slow_len = SimTime::Millis(2);
+  cfg.retry_timeout = SimTime::Millis(2);
+  return cfg;
+}
+
+struct HarnessOutcome {
+  int pulls_finished = 0;
+  FaultStats stats;
+};
+
+// Two Cores pushing/pulling through a real PsBackend under a fault plan.
+// Pull partitions are released by the shard-side aggregation listener, as in
+// the real runtime. Verifies the scheduler invariants on drain.
+HarnessOutcome RunPsChaosHarness(const FaultPlanConfig& plan_cfg, int rounds) {
+  constexpr int kWorkers = 2;
+  constexpr int kLayers = 4;
+  const Bytes bytes = KiB(300);
+
+  Simulator sim;
+  FaultInjector faults(plan_cfg, &sim);
+  PsConfig ps_cfg;
+  ps_cfg.num_workers = kWorkers;
+  ps_cfg.num_shards = 2;
+  ps_cfg.synchronous = true;
+  ps_cfg.faults = &faults;
+  ps_cfg.push_ack_timeout = plan_cfg.retry_timeout;
+  ps_cfg.retry_backoff = plan_cfg.retry_backoff;
+  ps_cfg.max_push_retries = plan_cfg.max_retries;
+  PsBackend ps(&sim, ps_cfg);
+
+  SchedulerConfig sched = SchedulerConfig::ByteScheduler(KiB(128), KiB(512));
+  sched.retry.timeout = plan_cfg.retry_timeout;
+  sched.retry.backoff = plan_cfg.retry_backoff;
+  sched.retry.max_retries = plan_cfg.max_retries;
+  std::vector<std::unique_ptr<SchedulerCore>> cores;
+  for (int w = 0; w < kWorkers; ++w) {
+    cores.push_back(std::make_unique<SchedulerCore>(sched, &ps, w, &sim, &faults));
+  }
+
+  std::vector<std::vector<CommTaskId>> pull_ids(kWorkers,
+                                                std::vector<CommTaskId>(kLayers, kInvalidCommTask));
+  ps.AddAggregationListener([&](int64_t tensor_id, int partition) {
+    for (int w = 0; w < kWorkers; ++w) {
+      const CommTaskId id = pull_ids[w][tensor_id];
+      if (id != kInvalidCommTask) {
+        cores[w]->NotifyReadyPartition(id, partition);
+      }
+    }
+  });
+
+  HarnessOutcome out;
+  int finished_this_round = 0;
+  std::function<void(int)> start_round = [&](int round) {
+    if (round == rounds) {
+      return;
+    }
+    finished_this_round = 0;
+    for (int w = 0; w < kWorkers; ++w) {
+      for (int layer = 0; layer < kLayers; ++layer) {
+        CommTaskDesc pull;
+        pull.worker = w;
+        pull.layer = layer;
+        pull.tensor_bytes = bytes;
+        pull.type = CommOpType::kPull;
+        pull.tensor_id = layer;
+        pull.name = "t" + std::to_string(layer) + ".pull";
+        pull.on_finish = [&, round] {
+          ++out.pulls_finished;
+          if (++finished_this_round == kWorkers * kLayers) {
+            start_round(round + 1);
+          }
+        };
+        pull_ids[w][layer] = cores[w]->Enqueue(std::move(pull));
+
+        CommTaskDesc push;
+        push.worker = w;
+        push.layer = layer;
+        push.tensor_bytes = bytes;
+        push.type = CommOpType::kPush;
+        push.tensor_id = layer;
+        push.name = "t" + std::to_string(layer) + ".push";
+        cores[w]->NotifyReady(cores[w]->Enqueue(std::move(push)));
+      }
+    }
+  };
+  start_round(0);
+  sim.Run();
+
+  EXPECT_EQ(out.pulls_finished, rounds * kWorkers * kLayers);
+  for (const auto& core : cores) {
+    // Credit conservation: everything charged was restored on finish or
+    // timeout, and nothing is left queued or in flight.
+    EXPECT_EQ(core->credit(), core->credit_cap()) << core->DebugString();
+    EXPECT_EQ(core->queue_length(), 0u) << core->DebugString();
+    EXPECT_EQ(core->subtasks_in_flight(), 0u) << core->DebugString();
+    EXPECT_EQ(core->subtasks_abandoned(), 0u) << core->DebugString();
+  }
+  EXPECT_TRUE(sim.Empty());
+  EXPECT_NE(ps.DebugString().find("unacked_pushes=0"), std::string::npos);
+  out.stats = faults.stats();
+  return out;
+}
+
+TEST(ChaosInvariantTest, MixedPlansAcrossTwentySeeds) {
+  uint64_t total_injected = 0;
+  uint64_t total_recoveries = 0;
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    const HarnessOutcome out = RunPsChaosHarness(HarnessChaos(seed), /*rounds=*/40);
+    total_injected += out.stats.drops_injected + out.stats.delays_injected +
+                      out.stats.shard_slowdowns;
+    total_recoveries += out.stats.core_timeouts + out.stats.backend_retransmits;
+  }
+  // The grid as a whole must actually exercise injection and recovery.
+  EXPECT_GT(total_injected, 0u);
+  EXPECT_GT(total_recoveries, 0u);
+}
+
+TEST(ChaosInvariantTest, DropHeavyPlan) {
+  uint64_t total_drops = 0;
+  for (uint64_t seed = 100; seed < 105; ++seed) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    FaultPlanConfig cfg;
+    cfg.seed = seed;
+    cfg.horizon = SimTime::Millis(10);
+    cfg.site_prob = 1.0;
+    cfg.drop_episodes = 4;
+    cfg.drop_prob = 0.8;
+    cfg.drop_len = SimTime::Millis(2);
+    cfg.retry_timeout = SimTime::Millis(2);
+    const HarnessOutcome out = RunPsChaosHarness(cfg, /*rounds=*/40);
+    total_drops += out.stats.drops_injected;
+  }
+  EXPECT_GT(total_drops, 0u);
+}
+
+TEST(ChaosInvariantTest, LatencyAndLinkDownOnlyPlan) {
+  for (uint64_t seed = 200; seed < 205; ++seed) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    FaultPlanConfig cfg;
+    cfg.seed = seed;
+    cfg.horizon = SimTime::Millis(10);
+    cfg.site_prob = 1.0;
+    cfg.latency_episodes = 4;
+    cfg.latency_spike = SimTime::Micros(400);
+    cfg.latency_len = SimTime::Millis(3);
+    cfg.link_down_episodes = 3;
+    cfg.link_down_len = SimTime::Millis(1);
+    cfg.retry_timeout = SimTime::Millis(4);
+    const HarnessOutcome out = RunPsChaosHarness(cfg, /*rounds=*/40);
+    EXPECT_EQ(out.stats.drops_injected, 0u);
+  }
+}
+
+// ---- end-to-end chaos jobs ------------------------------------------------
+
+JobConfig ChaosJobConfig(const Setup& setup, uint64_t seed, bool ps_async = false) {
+  JobConfig job;
+  job.model = Vgg16();
+  job.setup = setup;
+  job.mode = SchedMode::kByteScheduler;
+  job.num_machines = 2;
+  job.bandwidth = Bandwidth::Gbps(100);
+  job.warmup_iters = 1;
+  job.measure_iters = 2;
+  job.ps_async = ps_async;
+  const TunedParams tuned =
+      DefaultTunedParams(job.model, setup.arch, setup.transport, job.bandwidth);
+  job.partition_bytes = tuned.partition_bytes;
+  job.credit_bytes = tuned.credit_bytes;
+  FaultPlanConfig chaos = FaultPlanConfig::Chaos(seed);
+  chaos.horizon = SimTime::Millis(150);
+  job.chaos = chaos;
+  return job;
+}
+
+void ExpectRecovered(const JobResult& result) {
+  EXPECT_GT(result.samples_per_sec, 0.0);
+  EXPECT_EQ(result.subtasks_abandoned, 0u);
+  EXPECT_GT(result.fault_stats.messages_seen, 0u);
+}
+
+TEST(ChaosEndToEndTest, MxnetPsSynchronous) {
+  const JobResult result = RunTrainingJob(ChaosJobConfig(Setup::MxnetPsRdma(), 1));
+  ExpectRecovered(result);
+  EXPECT_TRUE(result.fault_stats.any_injected());
+}
+
+TEST(ChaosEndToEndTest, MxnetPsAsynchronous) {
+  const JobResult result =
+      RunTrainingJob(ChaosJobConfig(Setup::MxnetPsRdma(), 2, /*ps_async=*/true));
+  ExpectRecovered(result);
+}
+
+TEST(ChaosEndToEndTest, TensorFlowBarrierPs) {
+  const JobResult result = RunTrainingJob(ChaosJobConfig(Setup::TensorFlowPsTcp(), 3));
+  ExpectRecovered(result);
+}
+
+TEST(ChaosEndToEndTest, PyTorchAllReduce) {
+  uint64_t drops = 0;
+  uint64_t timeouts = 0;
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    const JobResult result = RunTrainingJob(ChaosJobConfig(Setup::PyTorchNcclTcp(), seed));
+    ExpectRecovered(result);
+    drops += result.fault_stats.drops_injected;
+    timeouts += result.fault_stats.core_timeouts;
+  }
+  // Every dropped collective launch must be recovered by a Core timeout
+  // (all-reduce has no backend-level retransmission).
+  EXPECT_GE(timeouts, drops);
+}
+
+TEST(ChaosEndToEndTest, FaultTracksAppearInTrace) {
+  TraceRecorder trace;
+  JobConfig job = ChaosJobConfig(Setup::MxnetPsRdma(), 4);
+  job.trace = &trace;
+  const JobResult result = RunTrainingJob(job);
+  ExpectRecovered(result);
+  bool has_plan = false;
+  bool has_injected = false;
+  for (const std::string& track : trace.Tracks()) {
+    has_plan |= track == "faults/plan";
+    has_injected |= track == "faults/injected";
+  }
+  EXPECT_TRUE(has_plan);
+  EXPECT_EQ(has_injected, result.fault_stats.any_injected());
+}
+
+// ---- determinism & zero-cost regressions ----------------------------------
+
+TEST(ChaosDeterminismTest, SameSeedSamePlanIsBitIdentical) {
+  const JobConfig job = ChaosJobConfig(Setup::MxnetPsRdma(), 7);
+  const JobResult a = RunTrainingJob(job);
+  const JobResult b = RunTrainingJob(job);
+  EXPECT_EQ(a.sim_events, b.sim_events);
+  EXPECT_EQ(a.avg_iter_time, b.avg_iter_time);
+  ASSERT_EQ(a.iter_end_times.size(), b.iter_end_times.size());
+  for (size_t i = 0; i < a.iter_end_times.size(); ++i) {
+    EXPECT_EQ(a.iter_end_times[i], b.iter_end_times[i]);
+  }
+  EXPECT_EQ(a.fault_stats.drops_injected, b.fault_stats.drops_injected);
+  EXPECT_EQ(a.fault_stats.core_timeouts, b.fault_stats.core_timeouts);
+  EXPECT_EQ(a.fault_stats.backend_retransmits, b.fault_stats.backend_retransmits);
+}
+
+TEST(ChaosZeroCostTest, EmptyPlanMatchesFaultFreeRunExactly) {
+  JobConfig job = ChaosJobConfig(Setup::MxnetPsRdma(), 1);
+  job.chaos.reset();
+  const JobResult plain = RunTrainingJob(job);
+
+  // Armed but never-firing fault fabric: empty plan, recovery timers enabled
+  // with a timeout no healthy subtask reaches. Must be event-for-event equal.
+  FaultPlanConfig empty;
+  empty.retry_timeout = SimTime::Millis(250);
+  job.chaos = empty;
+  const JobResult armed = RunTrainingJob(job);
+
+  EXPECT_EQ(plain.sim_events, armed.sim_events);
+  EXPECT_EQ(plain.avg_iter_time, armed.avg_iter_time);
+  ASSERT_EQ(plain.iter_end_times.size(), armed.iter_end_times.size());
+  for (size_t i = 0; i < plain.iter_end_times.size(); ++i) {
+    EXPECT_EQ(plain.iter_end_times[i], armed.iter_end_times[i]);
+  }
+  EXPECT_FALSE(armed.fault_stats.any_injected());
+  EXPECT_EQ(armed.fault_stats.core_timeouts, 0u);
+  EXPECT_GT(armed.fault_stats.messages_seen, 0u);  // the hooks did run
+}
+
+}  // namespace
+}  // namespace bsched

@@ -117,6 +117,94 @@ TEST(SimulatorTest, ProcessedEventCount) {
   EXPECT_EQ(sim.processed_events(), 5u);
 }
 
+TEST(SimulatorTest, DefaultHandleIsInvalidAndCancelIsNoop) {
+  EventHandle handle;
+  EXPECT_FALSE(handle.valid());
+  handle.Cancel();  // must not crash
+}
+
+TEST(SimulatorTest, CancelledEventNeitherFiresNorCounts) {
+  Simulator sim;
+  int fired = 0;
+  EventHandle handle = sim.Schedule(SimTime::Micros(5), [&] { ++fired; });
+  sim.Schedule(SimTime::Micros(10), [&] { ++fired; });
+  EXPECT_TRUE(handle.valid());
+  handle.Cancel();
+  EXPECT_EQ(sim.Run(), 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.processed_events(), 1u);
+  EXPECT_EQ(sim.Now(), SimTime::Micros(10));
+}
+
+TEST(SimulatorTest, CancelSoleEventLeavesSimEmpty) {
+  Simulator sim;
+  EventHandle handle = sim.Schedule(SimTime::Micros(5), [] { FAIL() << "cancelled event fired"; });
+  handle.Cancel();
+  EXPECT_EQ(sim.Run(), 0u);
+  EXPECT_TRUE(sim.Empty());
+  // Time never advances to a cancelled event.
+  EXPECT_EQ(sim.Now(), SimTime());
+}
+
+TEST(SimulatorTest, DoubleCancelIsIdempotent) {
+  Simulator sim;
+  EventHandle handle = sim.Schedule(SimTime::Micros(5), [] {});
+  handle.Cancel();
+  handle.Cancel();
+  EXPECT_EQ(sim.Run(), 0u);
+}
+
+TEST(SimulatorTest, HandleCopiesShareCancellation) {
+  Simulator sim;
+  int fired = 0;
+  EventHandle original = sim.Schedule(SimTime::Micros(5), [&] { ++fired; });
+  EventHandle copy = original;
+  copy.Cancel();
+  sim.Run();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(SimulatorTest, RunDeadlineIsInclusive) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.Schedule(SimTime::Micros(5), [&] { order.push_back(5); });
+  sim.Schedule(SimTime::Micros(10), [&] { order.push_back(10); });
+  sim.Schedule(SimTime(SimTime::Micros(10).nanos() + 1), [&] { order.push_back(11); });
+  EXPECT_EQ(sim.Run(SimTime::Micros(10)), 2u);  // events at exactly the deadline fire
+  EXPECT_EQ(order, (std::vector<int>{5, 10}));
+  EXPECT_EQ(sim.Now(), SimTime::Micros(10));
+  EXPECT_EQ(sim.Run(), 1u);
+  EXPECT_EQ(order, (std::vector<int>{5, 10, 11}));
+}
+
+TEST(SimulatorTest, CancelledHeadDoesNotLeakEventsPastDeadline) {
+  Simulator sim;
+  int fired = 0;
+  // A cancelled event before the deadline must not cause the next live event
+  // (beyond the deadline) to fire when Run() skips it.
+  EventHandle handle = sim.Schedule(SimTime::Micros(5), [&] { ++fired; });
+  sim.Schedule(SimTime::Micros(20), [&] { ++fired; });
+  handle.Cancel();
+  EXPECT_EQ(sim.Run(SimTime::Micros(10)), 0u);
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(sim.Run(), 1u);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(SimulatorTest, ScheduleFromCancelledSiblingCallback) {
+  Simulator sim;
+  std::vector<int> order;
+  EventHandle doomed;
+  sim.Schedule(SimTime::Micros(5), [&] {
+    order.push_back(1);
+    doomed.Cancel();  // cancel a same-time event that is already queued
+  });
+  doomed = sim.Schedule(SimTime::Micros(5), [&] { order.push_back(2); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1}));
+  EXPECT_EQ(sim.processed_events(), 1u);
+}
+
 TEST(ResourceTest, IdleResourceStartsImmediately) {
   Simulator sim;
   Resource r(&sim, "r");
