@@ -4,7 +4,8 @@
 #include "bench/harness.h"
 #include "src/model/zoo.h"
 
-int main() {
+int main(int argc, char** argv) {
+  bsched::bench::InitBenchJobs(argc, argv);
   bsched::bench::PrintScalingFigure("Figure 10: training VGG16", bsched::Vgg16(),
                                     /*include_p3=*/true);
   return 0;

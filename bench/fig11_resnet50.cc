@@ -3,7 +3,8 @@
 #include "bench/harness.h"
 #include "src/model/zoo.h"
 
-int main() {
+int main(int argc, char** argv) {
+  bsched::bench::InitBenchJobs(argc, argv);
   bsched::bench::PrintScalingFigure("Figure 11: training ResNet50", bsched::ResNet50(),
                                     /*include_p3=*/true);
   return 0;

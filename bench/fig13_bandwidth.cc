@@ -8,6 +8,7 @@
 
 #include "bench/harness.h"
 #include "src/common/table.h"
+#include "src/exec/sweep_runner.h"
 #include "src/model/zoo.h"
 #include "src/tuning/auto_tuner.h"
 
@@ -36,29 +37,42 @@ void RunPane(const char* label, const ModelProfile& model, const Setup& setup) {
   Table table({"Gbps", "baseline", "fixed sched", "tuned sched", "tuned vs base"});
   double min_gain = 1e300;
   double max_gain = -1e300;
-  for (double gbps : kGbps) {
-    JobConfig job = bench::MakeJob(model, setup, 4, Bandwidth::Gbps(gbps));
+  struct Cell {
+    double baseline;
+    double fixed_speed;
+    double tuned_speed;
+  };
+  // Per-bandwidth cells (including their BO tuning runs) are independent;
+  // sweep them concurrently and render in bandwidth order.
+  SweepRunner runner;
+  const std::vector<Cell> cells = runner.ParallelFor(kGbps.size(), [&](size_t i) {
+    JobConfig job = bench::MakeJob(model, setup, 4, Bandwidth::Gbps(kGbps[i]));
     job.measure_iters = 3;
-    const double baseline = bench::RunSpeed(bench::WithMode(job, SchedMode::kVanilla));
+    Cell cell;
+    cell.baseline = bench::RunSpeed(bench::WithMode(job, SchedMode::kVanilla));
 
     JobConfig fixed_job = job;
     fixed_job.mode = SchedMode::kByteScheduler;
     fixed_job.partition_bytes = fixed.partition_bytes;
     fixed_job.credit_bytes = fixed.credit_bytes;
-    const double fixed_speed = bench::RunSpeed(fixed_job);
+    cell.fixed_speed = bench::RunSpeed(fixed_job);
 
     const TunedParams tuned = BoTune(job);
     JobConfig tuned_job = job;
     tuned_job.mode = SchedMode::kByteScheduler;
     tuned_job.partition_bytes = tuned.partition_bytes;
     tuned_job.credit_bytes = tuned.credit_bytes;
-    const double tuned_speed = bench::RunSpeed(tuned_job);
-
-    const double gain = tuned_speed / baseline - 1.0;
+    cell.tuned_speed = bench::RunSpeed(tuned_job);
+    return cell;
+  });
+  for (size_t i = 0; i < kGbps.size(); ++i) {
+    const Cell& cell = cells[i];
+    const double gain = cell.tuned_speed / cell.baseline - 1.0;
     min_gain = std::min(min_gain, gain);
     max_gain = std::max(max_gain, gain);
-    table.AddRow({Table::Num(gbps, 0), Table::Num(baseline, 0), Table::Num(fixed_speed, 0),
-                  Table::Num(tuned_speed, 0), bench::GainPercent(tuned_speed, baseline)});
+    table.AddRow({Table::Num(kGbps[i], 0), Table::Num(cell.baseline, 0),
+                  Table::Num(cell.fixed_speed, 0), Table::Num(cell.tuned_speed, 0),
+                  bench::GainPercent(cell.tuned_speed, cell.baseline)});
   }
   std::printf("-- %s (tuned speedup %0.0f%%-%0.0f%%) --\n", label, 100 * min_gain,
               100 * max_gain);
@@ -68,7 +82,8 @@ void RunPane(const char* label, const ModelProfile& model, const Setup& setup) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::InitBenchJobs(argc, argv);
   std::printf("Figure 13: speed vs bandwidth, 32 GPUs, baseline / fixed / tuned scheduler\n\n");
   struct Pane {
     const char* label;

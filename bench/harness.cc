@@ -4,6 +4,9 @@
 #include <cstdio>
 #include <iostream>
 
+#include "src/common/flags.h"
+#include "src/exec/sweep_runner.h"
+
 namespace bsched {
 namespace bench {
 
@@ -44,12 +47,48 @@ std::string GainPercent(double sched, double baseline) {
   return buf;
 }
 
+std::vector<ScalingPane> ComputeScalingGrid(const ModelProfile& model, bool include_p3,
+                                            int jobs) {
+  const std::vector<Setup> setups = PaperSetups();
+  const size_t cells_per_pane = kGpuCounts.size();
+
+  // Every (setup, GPU count) cell is an independent set of simulations, so
+  // the flattened grid evaluates concurrently; results come back in input
+  // order, keeping the printed figure bit-identical to a serial sweep.
+  SweepRunner runner(jobs);
+  std::vector<ScalingCell> cells = runner.ParallelFor(
+      setups.size() * cells_per_pane, [&](size_t index) {
+        const Setup& setup = setups[index / cells_per_pane];
+        const bool p3_pane = include_p3 && setup.name == Setup::MxnetPsTcp().name;
+        const int gpus = kGpuCounts[index % cells_per_pane];
+        ScalingCell cell;
+        cell.gpus = gpus;
+        const JobConfig base = MakeJob(model, setup, gpus / kGpusPerMachine, Bandwidth::Gbps(100));
+        cell.baseline = RunSpeed(WithMode(base, SchedMode::kVanilla));
+        cell.sched = RunSpeed(WithMode(base, SchedMode::kByteScheduler));
+        cell.linear = PaperLinearScaling(WithMode(base, SchedMode::kVanilla));
+        if (p3_pane) {
+          cell.has_p3 = true;
+          cell.p3 = RunSpeed(WithMode(base, SchedMode::kP3));
+        }
+        return cell;
+      });
+
+  std::vector<ScalingPane> panes(setups.size());
+  for (size_t s = 0; s < setups.size(); ++s) {
+    panes[s].setup = setups[s].name;
+    panes[s].cells.assign(cells.begin() + s * cells_per_pane,
+                          cells.begin() + (s + 1) * cells_per_pane);
+  }
+  return panes;
+}
+
 void PrintScalingFigure(const std::string& title, const ModelProfile& model, bool include_p3) {
   std::printf("%s\n", title.c_str());
   std::printf("speed unit: %s/sec; per-GPU batch %d; 100 Gbps fabric\n\n", model.sample_unit.c_str(),
               model.batch_per_gpu);
-  for (const Setup& setup : PaperSetups()) {
-    const bool p3_pane = include_p3 && setup.name == Setup::MxnetPsTcp().name;
+  for (const ScalingPane& pane : ComputeScalingGrid(model, include_p3)) {
+    const bool p3_pane = !pane.cells.empty() && pane.cells.front().has_p3;
     std::vector<std::string> header = {"#GPUs", "baseline", "bytescheduler"};
     if (p3_pane) {
       header.push_back("p3");
@@ -59,29 +98,31 @@ void PrintScalingFigure(const std::string& title, const ModelProfile& model, boo
     Table table(std::move(header));
     double min_gain = 1e300;
     double max_gain = -1e300;
-    for (int gpus : kGpuCounts) {
-      const int machines = gpus / kGpusPerMachine;
-      JobConfig base = MakeJob(model, setup, machines, Bandwidth::Gbps(100));
-      const double baseline = RunSpeed(WithMode(base, SchedMode::kVanilla));
-      const double sched = RunSpeed(WithMode(base, SchedMode::kByteScheduler));
-      const double linear = PaperLinearScaling(WithMode(base, SchedMode::kVanilla));
-      const double gain = sched / baseline - 1.0;
+    for (const ScalingCell& cell : pane.cells) {
+      const double gain = cell.sched / cell.baseline - 1.0;
       min_gain = std::min(min_gain, gain);
       max_gain = std::max(max_gain, gain);
-      std::vector<std::string> row = {std::to_string(gpus), Table::Num(baseline, 0),
-                                      Table::Num(sched, 0)};
+      std::vector<std::string> row = {std::to_string(cell.gpus), Table::Num(cell.baseline, 0),
+                                      Table::Num(cell.sched, 0)};
       if (p3_pane) {
-        row.push_back(Table::Num(RunSpeed(WithMode(base, SchedMode::kP3)), 0));
+        row.push_back(Table::Num(cell.p3, 0));
       }
-      row.push_back(Table::Num(linear, 0));
-      row.push_back(GainPercent(sched, baseline));
+      row.push_back(Table::Num(cell.linear, 0));
+      row.push_back(GainPercent(cell.sched, cell.baseline));
       table.AddRow(std::move(row));
     }
-    std::printf("-- %s (speedup %0.0f%%-%0.0f%%) --\n", setup.name.c_str(), 100 * min_gain,
+    std::printf("-- %s (speedup %0.0f%%-%0.0f%%) --\n", pane.setup.c_str(), 100 * min_gain,
                 100 * max_gain);
     table.RenderAscii(std::cout);
     std::printf("\n");
   }
+}
+
+int InitBenchJobs(int argc, const char* const* argv) {
+  const Flags flags(argc, argv);
+  const int jobs = static_cast<int>(flags.GetInt("jobs", 0));
+  SweepRunner::SetDefaultJobs(jobs);
+  return SweepRunner::DefaultJobs();
 }
 
 }  // namespace bench

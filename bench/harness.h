@@ -30,6 +30,29 @@ JobConfig WithMode(JobConfig job, SchedMode mode);
 
 double RunSpeed(const JobConfig& job);
 
+// One (setup, GPU count) cell of a model-scaling figure.
+struct ScalingCell {
+  int gpus = 0;
+  double baseline = 0.0;
+  double sched = 0.0;
+  double linear = 0.0;
+  bool has_p3 = false;
+  double p3 = 0.0;
+};
+
+// One pane (setup) of a model-scaling figure, cells in kGpuCounts order.
+struct ScalingPane {
+  std::string setup;
+  std::vector<ScalingCell> cells;
+};
+
+// Computes the Figure 10/11/12 grid: every (setup, GPU count) cell across
+// PaperSetups(). Cells are independent simulations; jobs > 1 evaluates them
+// concurrently with bit-identical output (0 = SweepRunner default, i.e. the
+// --jobs flag or the hardware concurrency).
+std::vector<ScalingPane> ComputeScalingGrid(const ModelProfile& model, bool include_p3,
+                                            int jobs = 0);
+
 // Prints one model-scaling figure (the Figure 10/11/12 family): per setup, a
 // speed table over GPU counts for baseline / ByteScheduler / linear scaling
 // (and P3 in the MXNet PS TCP pane when requested), plus the speed-up range
@@ -37,6 +60,11 @@ double RunSpeed(const JobConfig& job);
 void PrintScalingFigure(const std::string& title, const ModelProfile& model, bool include_p3);
 
 std::string GainPercent(double sched, double baseline);
+
+// Parses the common bench flags (--jobs N, default hardware concurrency) and
+// installs the result as the process-wide sweep worker count. Returns the
+// effective jobs value.
+int InitBenchJobs(int argc, const char* const* argv);
 
 }  // namespace bench
 }  // namespace bsched

@@ -1,0 +1,234 @@
+// Perf baseline harness: measures the discrete-event loop on a synthetic
+// churn workload (schedule / cancel / nested reschedule, the pattern the
+// scheduler's retry timers and transport completions produce) and the
+// wall-clock of one reference figure sweep at --jobs 1 vs --jobs N, then
+// writes BENCH_sim.json so future PRs can compare against this baseline.
+//
+// The event-loop measurement also runs the same workload on LegacySimulator,
+// an in-tree copy of the pre-pooling event loop (per-event std::function +
+// shared_ptr<bool> cancellation token on a std::priority_queue), so the
+// speedup of the pooled/small-buffer kernel is measured, not asserted.
+//
+// Flags: --jobs N          parallel sweep workers (default: hardware concurrency)
+//        --out PATH        output JSON path (default: BENCH_sim.json)
+//        --churn-events N  events per churn round (default: 300000)
+//        --rounds N        churn rounds, best-of (default: 3)
+//        --skip-sweep      measure the event loop only (quick smoke mode)
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+#include "src/common/flags.h"
+#include "src/exec/sweep_runner.h"
+#include "src/model/zoo.h"
+#include "src/sim/simulator.h"
+
+namespace bsched {
+namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+// ---- legacy event loop (pre-PR reference) ---------------------------------
+
+class LegacySimulator {
+ public:
+  struct Handle {
+    std::shared_ptr<bool> cancelled;
+    void Cancel() {
+      if (cancelled != nullptr) {
+        *cancelled = true;
+      }
+    }
+  };
+
+  SimTime Now() const { return now_; }
+
+  Handle Schedule(SimTime delay, std::function<void()> fn) {
+    auto cancelled = std::make_shared<bool>(false);
+    queue_.push(Event{now_ + delay, next_seq_++, std::move(fn), cancelled});
+    return Handle{std::move(cancelled)};
+  }
+
+  uint64_t Run() {
+    uint64_t count = 0;
+    while (!queue_.empty()) {
+      Event ev = std::move(const_cast<Event&>(queue_.top()));
+      queue_.pop();
+      if (*ev.cancelled) {
+        continue;
+      }
+      now_ = ev.when;
+      ++count;
+      ev.fn();
+    }
+    return count;
+  }
+
+ private:
+  struct Event {
+    SimTime when;
+    uint64_t seq;
+    std::function<void()> fn;
+    std::shared_ptr<bool> cancelled;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) {
+        return a.when > b.when;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_;
+  uint64_t next_seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+// ---- churn workload -------------------------------------------------------
+
+// The workload every timer-heavy subsystem generates: each fired event
+// reschedules a successor carrying ~40 bytes of captured state, arms a
+// "retry timer" a few steps out, and cancels the previous timer — so a
+// third of all scheduled events die cancelled, some only at queue head.
+template <typename Sim, typename Handle>
+uint64_t RunChurn(Sim& sim, int events) {
+  uint64_t checksum = 0;
+  Handle retry_timer{};
+  int remaining = events;
+  std::function<void(int)> chain = [&](int lane) {
+    checksum += static_cast<uint64_t>(lane);
+    if (--remaining <= 0) {
+      return;
+    }
+    retry_timer.Cancel();
+    // The successor captures the lane, a payload, and the chain itself.
+    const int64_t payload = remaining;
+    sim.Schedule(SimTime::Nanos(100 + lane), [&chain, lane, payload] {
+      chain((lane + static_cast<int>(payload)) % 7);
+    });
+    retry_timer = sim.Schedule(SimTime::Millis(50), [&checksum] { checksum += 1; });
+  };
+  chain(0);
+  sim.Run();
+  return checksum;
+}
+
+struct ChurnResult {
+  double events_per_sec = 0.0;
+  uint64_t checksum = 0;
+};
+
+template <typename Sim, typename Handle>
+ChurnResult MeasureChurn(int events, int rounds) {
+  ChurnResult best;
+  for (int r = 0; r < rounds; ++r) {
+    Sim sim;
+    const auto start = std::chrono::steady_clock::now();
+    const uint64_t checksum = RunChurn<Sim, Handle>(sim, events);
+    const double sec = SecondsSince(start);
+    // ~2 scheduled events (successor + retry timer) per fired chain link.
+    const double rate = 2.0 * events / sec;
+    if (rate > best.events_per_sec) {
+      best.events_per_sec = rate;
+    }
+    best.checksum = checksum;
+  }
+  return best;
+}
+
+// ---- reference figure sweep -----------------------------------------------
+
+double MeasureSweep(int jobs) {
+  const auto start = std::chrono::steady_clock::now();
+  const std::vector<bench::ScalingPane> grid =
+      bench::ComputeScalingGrid(Vgg16(), /*include_p3=*/true, jobs);
+  double sink = 0.0;
+  for (const bench::ScalingPane& pane : grid) {
+    for (const bench::ScalingCell& cell : pane.cells) {
+      sink += cell.sched;
+    }
+  }
+  const double sec = SecondsSince(start);
+  std::printf("  figure sweep (vgg16 grid, jobs=%d): %.3f s (checksum %.1f)\n", jobs, sec, sink);
+  return sec;
+}
+
+}  // namespace
+}  // namespace bsched
+
+int main(int argc, char** argv) {
+  using namespace bsched;
+
+  const Flags flags(argc, argv);
+  const int jobs = bench::InitBenchJobs(argc, argv);
+  const std::string out_path = flags.GetString("out", "BENCH_sim.json");
+  const int churn_events = static_cast<int>(flags.GetInt("churn-events", 300000));
+  const int rounds = static_cast<int>(flags.GetInt("rounds", 3));
+  const bool skip_sweep = flags.GetBool("skip-sweep", false);
+
+  std::printf("micro_sim: event-loop and sweep perf baseline (jobs=%d)\n", jobs);
+
+  const ChurnResult pooled =
+      MeasureChurn<Simulator, EventHandle>(churn_events, rounds);
+  const ChurnResult legacy =
+      MeasureChurn<LegacySimulator, LegacySimulator::Handle>(churn_events, rounds);
+  if (pooled.checksum != legacy.checksum) {
+    std::fprintf(stderr, "FATAL: churn checksums diverge (pooled %llu, legacy %llu)\n",
+                 static_cast<unsigned long long>(pooled.checksum),
+                 static_cast<unsigned long long>(legacy.checksum));
+    return 1;
+  }
+  const double speedup_vs_legacy = pooled.events_per_sec / legacy.events_per_sec;
+  std::printf("  event loop: %.2fM events/sec (legacy %.2fM) -> %.2fx\n",
+              pooled.events_per_sec / 1e6, legacy.events_per_sec / 1e6, speedup_vs_legacy);
+
+  double serial_sec = 0.0;
+  double parallel_sec = 0.0;
+  if (!skip_sweep) {
+    serial_sec = MeasureSweep(1);
+    parallel_sec = MeasureSweep(jobs);
+    std::printf("  sweep speedup at jobs=%d: %.2fx\n", jobs,
+                parallel_sec > 0 ? serial_sec / parallel_sec : 0.0);
+  }
+
+  FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(out, "{\n");
+  std::fprintf(out, "  \"benchmark\": \"micro_sim\",\n");
+  std::fprintf(out, "  \"jobs\": %d,\n", jobs);
+  std::fprintf(out, "  \"hardware_concurrency\": %d,\n", SweepRunner::DefaultJobs());
+  std::fprintf(out, "  \"event_loop\": {\n");
+  std::fprintf(out, "    \"workload\": \"churn\",\n");
+  std::fprintf(out, "    \"events\": %d,\n", churn_events);
+  std::fprintf(out, "    \"rounds\": %d,\n", rounds);
+  std::fprintf(out, "    \"events_per_sec\": %.0f,\n", pooled.events_per_sec);
+  std::fprintf(out, "    \"legacy_events_per_sec\": %.0f,\n", legacy.events_per_sec);
+  std::fprintf(out, "    \"speedup_vs_legacy\": %.3f\n", speedup_vs_legacy);
+  std::fprintf(out, "  },\n");
+  std::fprintf(out, "  \"figure_sweep\": {\n");
+  std::fprintf(out, "    \"model\": \"vgg16\",\n");
+  std::fprintf(out, "    \"cells\": 20,\n");
+  std::fprintf(out, "    \"measured\": %s,\n", skip_sweep ? "false" : "true");
+  std::fprintf(out, "    \"serial_sec\": %.4f,\n", serial_sec);
+  std::fprintf(out, "    \"parallel_jobs\": %d,\n", jobs);
+  std::fprintf(out, "    \"parallel_sec\": %.4f,\n", parallel_sec);
+  std::fprintf(out, "    \"speedup\": %.3f\n",
+               parallel_sec > 0 ? serial_sec / parallel_sec : 0.0);
+  std::fprintf(out, "  }\n");
+  std::fprintf(out, "}\n");
+  std::fclose(out);
+  std::printf("  wrote %s\n", out_path.c_str());
+  return 0;
+}

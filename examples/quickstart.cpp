@@ -5,13 +5,18 @@
 // Build & run:  cmake -B build -G Ninja && cmake --build build
 //               ./build/examples/quickstart
 //
-// Pass `--chaos[=seed]` to rerun the ByteScheduler job under deterministic
-// fault injection (message drops, latency spikes, stragglers, slow shards)
-// and print the recovery statistics.
+// Flags: --jobs N        worker threads for the two independent simulations
+//                        (default: hardware concurrency; results are
+//                        bit-identical at any value)
+//        --chaos[=seed]  rerun the ByteScheduler job under deterministic
+//                        fault injection (message drops, latency spikes,
+//                        stragglers, slow shards) and print the recovery
+//                        statistics.
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
+#include <vector>
 
+#include "src/common/flags.h"
+#include "src/exec/sweep_runner.h"
 #include "src/model/zoo.h"
 #include "src/runtime/cluster.h"
 #include "src/runtime/training_job.h"
@@ -19,16 +24,11 @@
 int main(int argc, char** argv) {
   using namespace bsched;
 
-  bool chaos = false;
-  uint64_t chaos_seed = 1;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--chaos") == 0) {
-      chaos = true;
-    } else if (std::strncmp(argv[i], "--chaos=", 8) == 0) {
-      chaos = true;
-      chaos_seed = std::strtoull(argv[i] + 8, nullptr, 10);
-    }
-  }
+  const Flags flags(argc, argv);
+  SweepRunner::SetDefaultJobs(static_cast<int>(flags.GetInt("jobs", 0)));
+  const bool chaos = flags.Has("chaos");
+  const uint64_t chaos_seed =
+      flags.GetBool("chaos", false) ? 1 : static_cast<uint64_t>(flags.GetInt("chaos", 1));
 
   JobConfig job;
   job.model = Vgg16();
@@ -36,17 +36,25 @@ int main(int argc, char** argv) {
   job.num_machines = 4;  // 32 GPUs
   job.bandwidth = Bandwidth::Gbps(100);
 
-  // Vanilla MXNet: FIFO transmission of whole tensors.
-  job.mode = SchedMode::kVanilla;
-  const JobResult baseline = RunTrainingJob(job);
-
-  // ByteScheduler: priority scheduling + tensor partitioning + credits.
-  job.mode = SchedMode::kByteScheduler;
+  // Vanilla MXNet (FIFO transmission of whole tensors) and ByteScheduler
+  // (priority scheduling + tensor partitioning + credits) are independent
+  // simulations: evaluate them concurrently.
   const TunedParams tuned =
       DefaultTunedParams(job.model, job.setup.arch, job.setup.transport, job.bandwidth);
-  job.partition_bytes = tuned.partition_bytes;
-  job.credit_bytes = tuned.credit_bytes;
-  const JobResult scheduled = RunTrainingJob(job);
+  SweepRunner runner;
+  const std::vector<JobResult> results = runner.ParallelFor(2, [&](size_t i) {
+    JobConfig run = job;
+    if (i == 0) {
+      run.mode = SchedMode::kVanilla;
+    } else {
+      run.mode = SchedMode::kByteScheduler;
+      run.partition_bytes = tuned.partition_bytes;
+      run.credit_bytes = tuned.credit_bytes;
+    }
+    return RunTrainingJob(run);
+  });
+  const JobResult& baseline = results[0];
+  const JobResult& scheduled = results[1];
 
   const double linear = LinearScalingSpeed(job.model, job.total_gpus());
   std::printf("VGG16 on %s, %d GPUs, %.0f Gbps\n", job.setup.name.c_str(), job.total_gpus(),
@@ -61,6 +69,9 @@ int main(int argc, char** argv) {
               100.0 * (scheduled.samples_per_sec / baseline.samples_per_sec - 1.0));
 
   if (chaos) {
+    job.mode = SchedMode::kByteScheduler;
+    job.partition_bytes = tuned.partition_bytes;
+    job.credit_bytes = tuned.credit_bytes;
     job.chaos = FaultPlanConfig::Chaos(chaos_seed);
     const JobResult chaotic = RunTrainingJob(job);
     std::printf("  chaos (seed %llu): %8.1f images/sec (%+.1f%% vs fault-free)\n",

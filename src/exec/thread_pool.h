@@ -1,0 +1,43 @@
+// Fixed-size worker pool backing the parallel sweep layer. Tasks are opaque
+// closures executed FIFO; completion ordering is the caller's concern (see
+// SweepRunner, which collects results by input index).
+#ifndef SRC_EXEC_THREAD_POOL_H_
+#define SRC_EXEC_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace bsched {
+
+class ThreadPool {
+ public:
+  // Spawns `threads` workers (at least 1).
+  explicit ThreadPool(int threads);
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+  // Blocks until queued tasks drain, then joins the workers.
+  ~ThreadPool();
+
+  // Enqueues a task; it runs on some worker thread. Must not be called after
+  // destruction has begun.
+  void Submit(std::function<void()> task);
+
+  int size() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> tasks_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace bsched
+
+#endif  // SRC_EXEC_THREAD_POOL_H_

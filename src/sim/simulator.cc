@@ -1,41 +1,99 @@
 #include "src/sim/simulator.h"
 
-#include <utility>
+#include <algorithm>
 
 #include "src/common/check.h"
 
 namespace bsched {
+namespace {
+
+// Compaction triggers when stale (cancelled) entries outnumber live ones and
+// the heap is large enough for the rebuild to pay for itself.
+constexpr size_t kCompactMinEntries = 64;
+
+}  // namespace
 
 void EventHandle::Cancel() {
-  if (cancelled_ != nullptr) {
-    *cancelled_ = true;
+  if (sim_ != nullptr) {
+    sim_->CancelEvent(slot_, generation_);
   }
 }
 
-EventHandle Simulator::Schedule(SimTime delay, std::function<void()> fn) {
+EventHandle Simulator::Schedule(SimTime delay, EventFn fn) {
   BSCHED_CHECK(delay.nanos() >= 0);
   return ScheduleAt(now_ + delay, std::move(fn));
 }
 
-EventHandle Simulator::ScheduleAt(SimTime when, std::function<void()> fn) {
+EventHandle Simulator::ScheduleAt(SimTime when, EventFn fn) {
   BSCHED_CHECK(when >= now_);
-  auto cancelled = std::make_shared<bool>(false);
-  queue_.push(Event{when, next_seq_++, std::move(fn), cancelled});
-  return EventHandle(std::move(cancelled));
+  uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  Slot& s = slots_[slot];
+  s.fn = std::move(fn);
+  heap_.push_back(Entry{when, next_seq_++, s.generation, slot});
+  std::push_heap(heap_.begin(), heap_.end(), Later());
+  ++live_;
+  return EventHandle(this, slot, s.generation);
+}
+
+Simulator::Entry Simulator::PopTop() {
+  std::pop_heap(heap_.begin(), heap_.end(), Later());
+  Entry e = heap_.back();
+  heap_.pop_back();
+  return e;
+}
+
+void Simulator::ReleaseSlot(uint32_t slot) {
+  Slot& s = slots_[slot];
+  ++s.generation;
+  s.fn.Reset();
+  free_slots_.push_back(slot);
+}
+
+void Simulator::Fire(const Entry& e) {
+  // Move the callback out and release the slot first: the callback may
+  // schedule new events, which can reuse this slot or grow the slot table.
+  EventFn fn = std::move(slots_[e.slot].fn);
+  ReleaseSlot(e.slot);
+  --live_;
+  now_ = e.when;
+  ++processed_;
+  fn();
+}
+
+void Simulator::CancelEvent(uint32_t slot, uint64_t generation) {
+  if (slot >= slots_.size() || slots_[slot].generation != generation) {
+    return;  // already fired, already cancelled, or slot since reused
+  }
+  ReleaseSlot(slot);
+  --live_;
+  MaybeCompact();
+}
+
+void Simulator::MaybeCompact() {
+  if (heap_.size() < kCompactMinEntries || heap_.size() < 2 * live_) {
+    return;
+  }
+  heap_.erase(std::remove_if(heap_.begin(), heap_.end(),
+                             [this](const Entry& e) { return !EntryLive(e); }),
+              heap_.end());
+  std::make_heap(heap_.begin(), heap_.end(), Later());
+  ++compactions_;
 }
 
 bool Simulator::Step() {
-  while (!queue_.empty()) {
-    // priority_queue::top() is const; the event is moved out via const_cast,
-    // which is safe because pop() immediately removes the moved-from shell.
-    Event ev = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
-    if (*ev.cancelled) {
+  while (!heap_.empty()) {
+    Entry e = PopTop();
+    if (!EntryLive(e)) {
       continue;
     }
-    now_ = ev.when;
-    ++processed_;
-    ev.fn();
+    Fire(e);
     return true;
   }
   return false;
@@ -43,24 +101,20 @@ bool Simulator::Step() {
 
 uint64_t Simulator::Run(SimTime deadline) {
   uint64_t count = 0;
-  while (!queue_.empty()) {
-    // Discard cancelled events here rather than letting Step() skip them:
-    // Step() fires the first live event unconditionally, so a cancelled event
-    // at the head would otherwise let an event beyond `deadline` fire.
-    if (*queue_.top().cancelled) {
-      queue_.pop();
+  while (!heap_.empty()) {
+    // Discard cancelled entries here rather than firing past them: a
+    // cancelled head must not let an event beyond `deadline` fire.
+    if (!EntryLive(heap_.front())) {
+      PopTop();
       continue;
     }
-    if (queue_.top().when > deadline) {
+    if (heap_.front().when > deadline) {
       break;
     }
-    if (Step()) {
-      ++count;
-    }
+    Fire(PopTop());
+    ++count;
   }
   return count;
 }
-
-bool Simulator::Empty() const { return queue_.empty(); }
 
 }  // namespace bsched

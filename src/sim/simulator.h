@@ -1,21 +1,133 @@
 // Single-threaded discrete-event simulator. All substrates (network links,
 // GPU compute streams, PS shards, the ring) advance by scheduling callbacks
 // on one Simulator instance, which makes every experiment deterministic.
+// Distinct Simulator instances share nothing, so independent simulations can
+// run on separate threads (see src/exec/sweep_runner.h).
+//
+// Hot-path design: events live in a pooled slot table (reused across the
+// run, so steady-state scheduling allocates nothing), callbacks are stored
+// in a small-buffer-optimized EventFn (no per-event std::function heap
+// allocation), and cancellation is a slot-generation check instead of a
+// per-event shared_ptr control block. Cancelled entries still queued are
+// lazily skipped, and the queue is compacted when they pile up.
 #ifndef SRC_SIM_SIMULATOR_H_
 #define SRC_SIM_SIMULATOR_H_
 
+#include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <memory>
-#include <queue>
+#include <new>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "src/common/units.h"
 
 namespace bsched {
 
+// Move-only callable with small-buffer optimization: callables up to
+// kInlineBytes construct in place; larger ones fall back to one heap
+// allocation (the scheduler's own callbacks all fit inline).
+class EventFn {
+ public:
+  static constexpr size_t kInlineBytes = 48;
+
+  EventFn() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<!std::is_same_v<std::decay_t<F>, EventFn> &&
+                                        std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  EventFn(F&& f) {  // NOLINT(google-explicit-constructor): callback sink
+    using D = std::decay_t<F>;
+    if constexpr (FitsInline<D>()) {
+      new (storage_) D(std::forward<F>(f));
+      ops_ = &kInlineOps<D>;
+    } else {
+      *reinterpret_cast<D**>(storage_) = new D(std::forward<F>(f));
+      ops_ = &kHeapOps<D>;
+    }
+  }
+
+  EventFn(EventFn&& other) noexcept { MoveFrom(other); }
+  EventFn& operator=(EventFn&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      MoveFrom(other);
+    }
+    return *this;
+  }
+  EventFn(const EventFn&) = delete;
+  EventFn& operator=(const EventFn&) = delete;
+  ~EventFn() { Reset(); }
+
+  void operator()() { ops_->invoke(storage_); }
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  void Reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* storage);
+    // Move-constructs dst's payload from src's and destroys src's.
+    void (*relocate)(void* dst, void* src);
+    void (*destroy)(void* storage);
+  };
+
+  template <typename D>
+  static constexpr bool FitsInline() {
+    return sizeof(D) <= kInlineBytes && alignof(D) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<D>;
+  }
+
+  template <typename D>
+  static D* Inline(void* storage) {
+    return std::launder(reinterpret_cast<D*>(storage));
+  }
+  template <typename D>
+  static D* Heap(void* storage) {
+    return *reinterpret_cast<D**>(storage);
+  }
+
+  template <typename D>
+  static constexpr Ops kInlineOps = {
+      [](void* s) { (*Inline<D>(s))(); },
+      [](void* dst, void* src) {
+        new (dst) D(std::move(*Inline<D>(src)));
+        Inline<D>(src)->~D();
+      },
+      [](void* s) { Inline<D>(s)->~D(); },
+  };
+
+  template <typename D>
+  static constexpr Ops kHeapOps = {
+      [](void* s) { (*Heap<D>(s))(); },
+      [](void* dst, void* src) { *reinterpret_cast<D**>(dst) = Heap<D>(src); },
+      [](void* s) { delete Heap<D>(s); },
+  };
+
+  void MoveFrom(EventFn& other) {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      ops_->relocate(storage_, other.storage_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[kInlineBytes];
+  const Ops* ops_ = nullptr;
+};
+
+class Simulator;
+
 // Handle returned by Schedule(); allows cancelling a pending event. Copyable;
-// all copies refer to the same event.
+// all copies refer to the same event. A handle is a (slot, generation) pair:
+// once the event fires or is cancelled the slot's generation advances, so
+// stale handles (including ones whose slot was reused by a later event) are
+// harmless no-ops. Handles must not outlive their Simulator.
 class EventHandle {
  public:
   EventHandle() = default;
@@ -23,13 +135,16 @@ class EventHandle {
   // Cancels the event if it has not fired yet. Idempotent.
   void Cancel();
 
-  bool valid() const { return cancelled_ != nullptr; }
+  bool valid() const { return sim_ != nullptr; }
 
  private:
   friend class Simulator;
-  explicit EventHandle(std::shared_ptr<bool> cancelled) : cancelled_(std::move(cancelled)) {}
+  EventHandle(Simulator* sim, uint32_t slot, uint64_t generation)
+      : sim_(sim), slot_(slot), generation_(generation) {}
 
-  std::shared_ptr<bool> cancelled_;
+  Simulator* sim_ = nullptr;
+  uint32_t slot_ = 0;
+  uint64_t generation_ = 0;
 };
 
 class Simulator {
@@ -42,10 +157,10 @@ class Simulator {
 
   // Schedules `fn` to run at Now() + delay. Events at equal times fire in
   // scheduling order (stable FIFO tie-break).
-  EventHandle Schedule(SimTime delay, std::function<void()> fn);
+  EventHandle Schedule(SimTime delay, EventFn fn);
 
   // Schedules `fn` at an absolute time, which must be >= Now().
-  EventHandle ScheduleAt(SimTime when, std::function<void()> fn);
+  EventHandle ScheduleAt(SimTime when, EventFn fn);
 
   // Runs events until the queue is empty or `deadline` is passed. Events at
   // exactly `deadline` still fire. Returns the number of events processed.
@@ -54,20 +169,34 @@ class Simulator {
   // Fires the single earliest pending event. Returns false if queue is empty.
   bool Step();
 
-  bool Empty() const;
-  // Upper bound: includes events that were cancelled but not yet popped.
-  size_t PendingEvents() const { return queue_.size(); }
+  // True when no live (non-cancelled, not-yet-fired) events remain.
+  bool Empty() const { return live_ == 0; }
+  // Live events: scheduled, not cancelled, not yet fired.
+  size_t PendingEvents() const { return live_; }
+  // Raw queue entries, including cancelled events not yet reclaimed; equals
+  // PendingEvents() after compaction. Debugging / test hook.
+  size_t QueuedEvents() const { return heap_.size(); }
+  // Slots ever allocated; stays flat under steady-state churn (pool reuse).
+  size_t AllocatedSlots() const { return slots_.size(); }
   uint64_t processed_events() const { return processed_; }
+  uint64_t compactions() const { return compactions_; }
 
  private:
-  struct Event {
+  friend class EventHandle;
+
+  struct Slot {
+    uint64_t generation = 0;
+    EventFn fn;
+  };
+  // 32 bytes; the heap permutes these, not the callbacks.
+  struct Entry {
     SimTime when;
     uint64_t seq;
-    std::function<void()> fn;
-    std::shared_ptr<bool> cancelled;
+    uint64_t generation;
+    uint32_t slot;
   };
   struct Later {
-    bool operator()(const Event& a, const Event& b) const {
+    bool operator()(const Entry& a, const Entry& b) const {
       if (a.when != b.when) {
         return a.when > b.when;
       }
@@ -75,10 +204,26 @@ class Simulator {
     }
   };
 
+  bool EntryLive(const Entry& e) const { return slots_[e.slot].generation == e.generation; }
+  // Pops the top entry off the heap and returns it.
+  Entry PopTop();
+  // Fires `e`, which must be live: releases its slot, advances time, runs fn.
+  void Fire(const Entry& e);
+  // Advances the slot's generation (invalidating queued entries and handles)
+  // and returns it to the free list.
+  void ReleaseSlot(uint32_t slot);
+  void CancelEvent(uint32_t slot, uint64_t generation);
+  // Rebuilds the heap without stale entries once they dominate it.
+  void MaybeCompact();
+
   SimTime now_;
   uint64_t next_seq_ = 0;
   uint64_t processed_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  uint64_t compactions_ = 0;
+  size_t live_ = 0;
+  std::vector<Entry> heap_;  // binary min-heap via std::*_heap with Later
+  std::vector<Slot> slots_;
+  std::vector<uint32_t> free_slots_;
 };
 
 }  // namespace bsched

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "src/common/check.h"
+#include "src/exec/sweep_runner.h"
 
 namespace bsched {
 namespace {
@@ -34,47 +35,75 @@ Bytes AutoTuner::CreditFromUnit(double u) const {
   return LogScale(u, options_.credit_lo, options_.credit_hi);
 }
 
-double AutoTuner::EvaluateObjective(Bytes partition, Bytes credit) {
+double AutoTuner::EvaluateConfigured(Bytes partition, Bytes credit) const {
   JobConfig job = base_;
   job.partition_bytes = partition;
   // A credit below one partition degenerates to stop-and-wait with a cap;
   // keep it meaningful by flooring at the partition size.
   job.credit_bytes = std::max(credit, partition);
-  const JobResult result = RunTrainingJob(job);
+  return RunTrainingJob(job).samples_per_sec;
+}
+
+double AutoTuner::EvaluateObjective(Bytes partition, Bytes credit) {
   // Profiled speeds carry run-to-run jitter; the tuner must cope with it.
-  return result.samples_per_sec * (1.0 + options_.noise_frac * rng_.NextGaussian());
+  return EvaluateConfigured(partition, credit) *
+         (1.0 + options_.noise_frac * rng_.NextGaussian());
 }
 
 AutoTuner::Result AutoTuner::Tune(ParamSearch& search) {
   BSCHED_CHECK(search.dims() == 2);
   Result result;
   Bytes last_partition = -1;
-  for (int trial = 0; trial < options_.max_trials; ++trial) {
-    const std::vector<double> x = search.Suggest();
-    Trial t;
-    t.partition_bytes = PartitionFromUnit(x[0]);
-    t.credit_bytes = CreditFromUnit(x[1]);
-    t.speed = EvaluateObjective(t.partition_bytes, t.credit_bytes);
-    search.Observe(x, t.speed);
-
-    // Tuning cost: the profiling time itself, plus a checkpoint/restart for
-    // PS jobs whenever the partition size changes (§5 "Auto-tuning support").
-    const double profile_sec = options_.profile_iters *
-                               (t.speed > 0 ? base_.total_gpus() * base_.model.batch_per_gpu /
-                                                  t.speed
-                                            : 0.0);
-    result.tuning_cost_sec += profile_sec;
-    if (base_.setup.arch == ArchType::kPs && t.partition_bytes != last_partition &&
-        last_partition >= 0) {
-      result.tuning_cost_sec += options_.ps_restart_sec;
+  SweepRunner runner(options_.jobs);
+  const int batch = std::max(1, options_.batch_size);
+  for (int done = 0; done < options_.max_trials;) {
+    const int k = std::min(batch, options_.max_trials - done);
+    const std::vector<std::vector<double>> xs = search.SuggestBatch(k);
+    BSCHED_CHECK(static_cast<int>(xs.size()) == k);
+    std::vector<Trial> trials(k);
+    for (int i = 0; i < k; ++i) {
+      trials[i].partition_bytes = PartitionFromUnit(xs[i][0]);
+      trials[i].credit_bytes = CreditFromUnit(xs[i][1]);
     }
-    last_partition = t.partition_bytes;
-
-    if (t.speed > result.best_speed) {
-      result.best_speed = t.speed;
-      result.best = TunedParams{t.partition_bytes, std::max(t.credit_bytes, t.partition_bytes)};
+    // Draw the measurement jitter in suggestion order before dispatching:
+    // the profiling runs are deterministic, so the observed speeds — and
+    // everything downstream — are bit-identical at any worker count.
+    std::vector<double> jitter(k);
+    for (int i = 0; i < k; ++i) {
+      jitter[i] = 1.0 + options_.noise_frac * rng_.NextGaussian();
     }
-    result.trials.push_back(t);
+    const std::vector<double> speeds = runner.ParallelFor(
+        static_cast<size_t>(k), [this, &trials](size_t i) {
+          return EvaluateConfigured(trials[i].partition_bytes, trials[i].credit_bytes);
+        });
+
+    for (int i = 0; i < k; ++i) {
+      Trial& t = trials[i];
+      t.speed = speeds[i] * jitter[i];
+      search.Observe(xs[i], t.speed);
+
+      // Tuning cost: the profiling time itself, plus a checkpoint/restart for
+      // PS jobs whenever the partition size changes (§5 "Auto-tuning
+      // support"). Batched trials still pay per-config restarts: the profiled
+      // cluster applies each configuration in sequence.
+      const double profile_sec = options_.profile_iters *
+                                 (t.speed > 0 ? base_.total_gpus() * base_.model.batch_per_gpu /
+                                                    t.speed
+                                              : 0.0);
+      result.tuning_cost_sec += profile_sec;
+      if (base_.setup.arch == ArchType::kPs && t.partition_bytes != last_partition &&
+          last_partition >= 0) {
+        result.tuning_cost_sec += options_.ps_restart_sec;
+      }
+      last_partition = t.partition_bytes;
+
+      if (t.speed > result.best_speed) {
+        result.best_speed = t.speed;
+        result.best = TunedParams{t.partition_bytes, std::max(t.credit_bytes, t.partition_bytes)};
+      }
+      result.trials.push_back(t);
+    }
+    done += k;
   }
   return result;
 }

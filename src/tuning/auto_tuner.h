@@ -30,6 +30,12 @@ struct AutoTunerOptions {
   uint64_t seed = 1;
   // Wall-clock charged per PS restart (checkpoint + reload), §5.
   double ps_restart_sec = 5.0;
+  // Candidates suggested per search round (ParamSearch::SuggestBatch) and
+  // profiled concurrently. 1 reproduces the strictly sequential tuner; any
+  // value yields results independent of `jobs` (bit-identical sweeps).
+  int batch_size = 1;
+  // Worker threads for batch evaluation; 0 = SweepRunner default.
+  int jobs = 0;
 };
 
 class AutoTuner {
@@ -60,6 +66,10 @@ class AutoTuner {
   // Profiles one configuration (with measurement jitter); exposed for the
   // figure benches and for search-cost experiments.
   double EvaluateObjective(Bytes partition, Bytes credit);
+
+  // The deterministic part of the objective: profiled speed without jitter.
+  // Const and shared-state-free, so batches evaluate concurrently.
+  double EvaluateConfigured(Bytes partition, Bytes credit) const;
 
   // §7 extension "dynamic partition size": per-layer partition sizes.
   struct PerLayerResult {

@@ -14,6 +14,7 @@
 #include "src/comm/ps_backend.h"
 #include "src/common/trace.h"
 #include "src/core/scheduler_core.h"
+#include "src/exec/sweep_runner.h"
 #include "src/fault/fault_injector.h"
 #include "src/fault/fault_plan.h"
 #include "src/model/zoo.h"
@@ -468,12 +469,18 @@ HarnessOutcome RunPsChaosHarness(const FaultPlanConfig& plan_cfg, int rounds) {
   return out;
 }
 
+// The seed x plan grids run complete, independent harness instances, so the
+// chaos suite sweeps them concurrently (results collected in seed order).
+
 TEST(ChaosInvariantTest, MixedPlansAcrossTwentySeeds) {
+  SweepRunner runner;
+  const std::vector<HarnessOutcome> outcomes = runner.ParallelFor(20, [](size_t i) {
+    SCOPED_TRACE("seed=" + std::to_string(i + 1));
+    return RunPsChaosHarness(HarnessChaos(i + 1), /*rounds=*/40);
+  });
   uint64_t total_injected = 0;
   uint64_t total_recoveries = 0;
-  for (uint64_t seed = 1; seed <= 20; ++seed) {
-    SCOPED_TRACE("seed=" + std::to_string(seed));
-    const HarnessOutcome out = RunPsChaosHarness(HarnessChaos(seed), /*rounds=*/40);
+  for (const HarnessOutcome& out : outcomes) {
     total_injected += out.stats.drops_injected + out.stats.delays_injected +
                       out.stats.shard_slowdowns;
     total_recoveries += out.stats.core_timeouts + out.stats.backend_retransmits;
@@ -483,29 +490,37 @@ TEST(ChaosInvariantTest, MixedPlansAcrossTwentySeeds) {
   EXPECT_GT(total_recoveries, 0u);
 }
 
+FaultPlanConfig DropHeavyPlan(uint64_t seed) {
+  FaultPlanConfig cfg;
+  cfg.seed = seed;
+  cfg.horizon = SimTime::Millis(10);
+  cfg.site_prob = 1.0;
+  cfg.drop_episodes = 4;
+  cfg.drop_prob = 0.8;
+  cfg.drop_len = SimTime::Millis(2);
+  cfg.retry_timeout = SimTime::Millis(2);
+  return cfg;
+}
+
 TEST(ChaosInvariantTest, DropHeavyPlan) {
+  SweepRunner runner;
+  const std::vector<HarnessOutcome> outcomes = runner.ParallelFor(5, [](size_t i) {
+    SCOPED_TRACE("seed=" + std::to_string(100 + i));
+    return RunPsChaosHarness(DropHeavyPlan(100 + i), /*rounds=*/40);
+  });
   uint64_t total_drops = 0;
-  for (uint64_t seed = 100; seed < 105; ++seed) {
-    SCOPED_TRACE("seed=" + std::to_string(seed));
-    FaultPlanConfig cfg;
-    cfg.seed = seed;
-    cfg.horizon = SimTime::Millis(10);
-    cfg.site_prob = 1.0;
-    cfg.drop_episodes = 4;
-    cfg.drop_prob = 0.8;
-    cfg.drop_len = SimTime::Millis(2);
-    cfg.retry_timeout = SimTime::Millis(2);
-    const HarnessOutcome out = RunPsChaosHarness(cfg, /*rounds=*/40);
+  for (const HarnessOutcome& out : outcomes) {
     total_drops += out.stats.drops_injected;
   }
   EXPECT_GT(total_drops, 0u);
 }
 
 TEST(ChaosInvariantTest, LatencyAndLinkDownOnlyPlan) {
-  for (uint64_t seed = 200; seed < 205; ++seed) {
-    SCOPED_TRACE("seed=" + std::to_string(seed));
+  SweepRunner runner;
+  const std::vector<HarnessOutcome> outcomes = runner.ParallelFor(5, [](size_t i) {
+    SCOPED_TRACE("seed=" + std::to_string(200 + i));
     FaultPlanConfig cfg;
-    cfg.seed = seed;
+    cfg.seed = 200 + i;
     cfg.horizon = SimTime::Millis(10);
     cfg.site_prob = 1.0;
     cfg.latency_episodes = 4;
@@ -514,8 +529,31 @@ TEST(ChaosInvariantTest, LatencyAndLinkDownOnlyPlan) {
     cfg.link_down_episodes = 3;
     cfg.link_down_len = SimTime::Millis(1);
     cfg.retry_timeout = SimTime::Millis(4);
-    const HarnessOutcome out = RunPsChaosHarness(cfg, /*rounds=*/40);
+    return RunPsChaosHarness(cfg, /*rounds=*/40);
+  });
+  for (const HarnessOutcome& out : outcomes) {
     EXPECT_EQ(out.stats.drops_injected, 0u);
+  }
+}
+
+TEST(ChaosInvariantTest, ParallelGridMatchesSerialGrid) {
+  constexpr size_t kSeeds = 6;
+  const auto sweep = [](int jobs) {
+    SweepRunner runner(jobs);
+    return runner.ParallelFor(kSeeds, [](size_t i) {
+      return RunPsChaosHarness(HarnessChaos(i + 1), /*rounds=*/20);
+    });
+  };
+  const std::vector<HarnessOutcome> serial = sweep(1);
+  const std::vector<HarnessOutcome> parallel = sweep(8);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].pulls_finished, parallel[i].pulls_finished) << i;
+    EXPECT_EQ(serial[i].stats.messages_seen, parallel[i].stats.messages_seen) << i;
+    EXPECT_EQ(serial[i].stats.drops_injected, parallel[i].stats.drops_injected) << i;
+    EXPECT_EQ(serial[i].stats.delays_injected, parallel[i].stats.delays_injected) << i;
+    EXPECT_EQ(serial[i].stats.core_timeouts, parallel[i].stats.core_timeouts) << i;
+    EXPECT_EQ(serial[i].stats.backend_retransmits, parallel[i].stats.backend_retransmits) << i;
   }
 }
 

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <array>
+#include <functional>
 #include <vector>
 
 #include "src/sim/resource.h"
@@ -203,6 +205,140 @@ TEST(SimulatorTest, ScheduleFromCancelledSiblingCallback) {
   sim.Run();
   EXPECT_EQ(order, (std::vector<int>{1}));
   EXPECT_EQ(sim.processed_events(), 1u);
+}
+
+TEST(SimulatorTest, PendingEventsCountsOnlyLiveEvents) {
+  Simulator sim;
+  EventHandle a = sim.Schedule(SimTime::Micros(1), [] {});
+  sim.Schedule(SimTime::Micros(2), [] {});
+  sim.Schedule(SimTime::Micros(3), [] {});
+  EXPECT_EQ(sim.PendingEvents(), 3u);
+  EXPECT_EQ(sim.QueuedEvents(), 3u);
+  a.Cancel();
+  // The cancelled event no longer counts as pending, but its queue entry is
+  // reclaimed lazily (below the compaction threshold it just sits there).
+  EXPECT_EQ(sim.PendingEvents(), 2u);
+  EXPECT_EQ(sim.QueuedEvents(), 3u);
+  EXPECT_FALSE(sim.Empty());
+  EXPECT_EQ(sim.Run(), 2u);
+  EXPECT_TRUE(sim.Empty());
+  EXPECT_EQ(sim.PendingEvents(), 0u);
+  EXPECT_EQ(sim.QueuedEvents(), 0u);
+}
+
+TEST(SimulatorTest, CancelSoleEventMakesSimEmptyImmediately) {
+  Simulator sim;
+  EventHandle h = sim.Schedule(SimTime::Micros(5), [] {});
+  EXPECT_FALSE(sim.Empty());
+  h.Cancel();
+  EXPECT_TRUE(sim.Empty());
+  EXPECT_EQ(sim.PendingEvents(), 0u);
+}
+
+TEST(SimulatorTest, EventSlotsAreReusedUnderChurn) {
+  Simulator sim;
+  int fired = 0;
+  // Steady-state churn: one event in flight at a time, rescheduling itself.
+  // The pool must keep reusing the same slot instead of growing.
+  std::function<void()> tick = [&] {
+    if (++fired < 1000) {
+      sim.Schedule(SimTime::Micros(1), [&] { tick(); });
+    }
+  };
+  sim.Schedule(SimTime::Micros(1), [&] { tick(); });
+  sim.Run();
+  EXPECT_EQ(fired, 1000);
+  EXPECT_LE(sim.AllocatedSlots(), 2u);
+}
+
+TEST(SimulatorTest, StaleHandleDoesNotCancelSlotReuser) {
+  Simulator sim;
+  int first = 0;
+  int second = 0;
+  EventHandle old_handle = sim.Schedule(SimTime::Micros(1), [&] { ++first; });
+  sim.Run();
+  EXPECT_EQ(first, 1);
+  // The new event reuses the fired event's pooled slot; the stale handle's
+  // generation no longer matches, so Cancel must be a no-op.
+  EventHandle fresh = sim.Schedule(SimTime::Micros(1), [&] { ++second; });
+  EXPECT_EQ(sim.AllocatedSlots(), 1u);
+  old_handle.Cancel();
+  EXPECT_EQ(sim.PendingEvents(), 1u);
+  sim.Run();
+  EXPECT_EQ(second, 1);
+  // And a stale cancel of the now-also-fired fresh event stays harmless.
+  fresh.Cancel();
+  EXPECT_EQ(sim.processed_events(), 2u);
+}
+
+TEST(SimulatorTest, StaleHandleAfterCancellationDoesNotCancelSlotReuser) {
+  Simulator sim;
+  int fired = 0;
+  EventHandle doomed = sim.Schedule(SimTime::Micros(1), [] { FAIL(); });
+  doomed.Cancel();
+  EventHandle copy = doomed;  // copies share the stale (slot, generation)
+  sim.Schedule(SimTime::Micros(2), [&] { ++fired; });  // reuses the slot
+  copy.Cancel();
+  doomed.Cancel();
+  sim.Run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(SimulatorTest, MassCancellationCompactsQueue) {
+  Simulator sim;
+  int fired = 0;
+  std::vector<EventHandle> handles;
+  for (int i = 0; i < 256; ++i) {
+    handles.push_back(sim.Schedule(SimTime::Micros(1 + i), [&] { ++fired; }));
+  }
+  // Cancel everything but every 8th event: cancelled entries come to dominate
+  // the queue, which must trigger compaction rather than rot until Run().
+  for (size_t i = 0; i < handles.size(); ++i) {
+    if (i % 8 != 0) {
+      handles[i].Cancel();
+    }
+  }
+  EXPECT_EQ(sim.PendingEvents(), 32u);
+  EXPECT_GE(sim.compactions(), 1u);
+  EXPECT_LT(sim.QueuedEvents(), 64u);  // stale entries were reclaimed
+  EXPECT_EQ(sim.Run(), 32u);
+  EXPECT_EQ(fired, 32);
+}
+
+TEST(SimulatorTest, CompactionPreservesOrderAndDeadlines) {
+  Simulator sim;
+  std::vector<int> order;
+  std::vector<EventHandle> handles;
+  for (int i = 0; i < 200; ++i) {
+    handles.push_back(sim.Schedule(SimTime::Micros(200 - i), [&order, i] { order.push_back(i); }));
+  }
+  for (int i = 0; i < 200; ++i) {
+    if (i >= 10) {
+      handles[i].Cancel();
+    }
+  }
+  EXPECT_EQ(sim.Run(SimTime::Micros(195)), 5u);  // events at 191..195 us fire, in time order
+  EXPECT_EQ(order, (std::vector<int>{9, 8, 7, 6, 5}));
+  EXPECT_EQ(sim.Run(), 5u);
+  EXPECT_EQ(order, (std::vector<int>{9, 8, 7, 6, 5, 4, 3, 2, 1, 0}));
+}
+
+TEST(SimulatorTest, LargeCallbackFallsBackToHeapCorrectly) {
+  Simulator sim;
+  // Capture more state than EventFn's inline buffer holds.
+  std::array<int64_t, 16> payload;
+  for (size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<int64_t>(i * 3);
+  }
+  static_assert(sizeof(payload) > EventFn::kInlineBytes);
+  int64_t sum = 0;
+  sim.Schedule(SimTime::Micros(1), [payload, &sum] {
+    for (int64_t v : payload) {
+      sum += v;
+    }
+  });
+  sim.Run();
+  EXPECT_EQ(sum, 3 * (15 * 16 / 2));
 }
 
 TEST(ResourceTest, IdleResourceStartsImmediately) {
