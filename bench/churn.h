@@ -1,0 +1,140 @@
+// Shared event-loop churn workload for the perf benchmarks (micro_sim and
+// obs_overhead): schedule / cancel / nested reschedule, the pattern the
+// scheduler's retry timers and transport completions produce. Also carries
+// LegacySimulator, an in-tree copy of the pre-pooling event loop (per-event
+// std::function + shared_ptr<bool> cancellation token on a
+// std::priority_queue), so the pooled kernel's speedup is measured against a
+// fixed reference rather than asserted.
+#ifndef BENCH_CHURN_H_
+#define BENCH_CHURN_H_
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "src/common/units.h"
+
+namespace bsched {
+namespace bench {
+
+inline double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+// ---- legacy event loop (pre-pooling reference) ----------------------------
+
+class LegacySimulator {
+ public:
+  struct Handle {
+    std::shared_ptr<bool> cancelled;
+    void Cancel() {
+      if (cancelled != nullptr) {
+        *cancelled = true;
+      }
+    }
+  };
+
+  SimTime Now() const { return now_; }
+
+  Handle Schedule(SimTime delay, std::function<void()> fn) {
+    auto cancelled = std::make_shared<bool>(false);
+    queue_.push(Event{now_ + delay, next_seq_++, std::move(fn), cancelled});
+    return Handle{std::move(cancelled)};
+  }
+
+  uint64_t Run() {
+    uint64_t count = 0;
+    while (!queue_.empty()) {
+      Event ev = std::move(const_cast<Event&>(queue_.top()));
+      queue_.pop();
+      if (*ev.cancelled) {
+        continue;
+      }
+      now_ = ev.when;
+      ++count;
+      ev.fn();
+    }
+    return count;
+  }
+
+ private:
+  struct Event {
+    SimTime when;
+    uint64_t seq;
+    std::function<void()> fn;
+    std::shared_ptr<bool> cancelled;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) {
+        return a.when > b.when;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_;
+  uint64_t next_seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+// ---- churn workload -------------------------------------------------------
+
+// The workload every timer-heavy subsystem generates: each fired event
+// reschedules a successor carrying ~40 bytes of captured state, arms a
+// "retry timer" a few steps out, and cancels the previous timer — so a
+// third of all scheduled events die cancelled, some only at queue head.
+template <typename Sim, typename Handle>
+uint64_t RunChurn(Sim& sim, int events) {
+  uint64_t checksum = 0;
+  Handle retry_timer{};
+  int remaining = events;
+  std::function<void(int)> chain = [&](int lane) {
+    checksum += static_cast<uint64_t>(lane);
+    if (--remaining <= 0) {
+      return;
+    }
+    retry_timer.Cancel();
+    // The successor captures the lane, a payload, and the chain itself.
+    const int64_t payload = remaining;
+    sim.Schedule(SimTime::Nanos(100 + lane), [&chain, lane, payload] {
+      chain((lane + static_cast<int>(payload)) % 7);
+    });
+    retry_timer = sim.Schedule(SimTime::Millis(50), [&checksum] { checksum += 1; });
+  };
+  chain(0);
+  sim.Run();
+  return checksum;
+}
+
+struct ChurnResult {
+  double events_per_sec = 0.0;
+  uint64_t checksum = 0;
+};
+
+template <typename Sim, typename Handle>
+ChurnResult MeasureChurn(int events, int rounds) {
+  ChurnResult best;
+  for (int r = 0; r < rounds; ++r) {
+    Sim sim;
+    const auto start = std::chrono::steady_clock::now();
+    const uint64_t checksum = RunChurn<Sim, Handle>(sim, events);
+    const double sec = SecondsSince(start);
+    // ~2 scheduled events (successor + retry timer) per fired chain link.
+    const double rate = 2.0 * events / sec;
+    if (rate > best.events_per_sec) {
+      best.events_per_sec = rate;
+    }
+    best.checksum = checksum;
+  }
+  return best;
+}
+
+}  // namespace bench
+}  // namespace bsched
+
+#endif  // BENCH_CHURN_H_

@@ -2,13 +2,22 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 
 #include "src/common/flags.h"
+#include "src/common/trace.h"
 #include "src/exec/sweep_runner.h"
+#include "src/obs/metrics.h"
 
 namespace bsched {
 namespace bench {
+namespace {
+
+// Artifact paths captured by InitBenchJobs for MaybeWriteObsArtifacts.
+ObsFlags g_obs_flags;
+
+}  // namespace
 
 std::vector<Setup> PaperSetups() {
   return {Setup::MxnetPsTcp(), Setup::MxnetPsRdma(), Setup::TensorFlowPsTcp(),
@@ -116,13 +125,43 @@ void PrintScalingFigure(const std::string& title, const ModelProfile& model, boo
     table.RenderAscii(std::cout);
     std::printf("\n");
   }
+  MaybeWriteObsArtifacts(
+      MakeJob(model, PaperSetups().front(), kGpuCounts.front() / kGpusPerMachine,
+              Bandwidth::Gbps(100)));
 }
 
 int InitBenchJobs(int argc, const char* const* argv) {
   const Flags flags(argc, argv);
   const int jobs = static_cast<int>(flags.GetInt("jobs", 0));
   SweepRunner::SetDefaultJobs(jobs);
+  g_obs_flags = ParseObsFlags(flags);
   return SweepRunner::DefaultJobs();
+}
+
+void MaybeWriteObsArtifacts(const JobConfig& job) {
+  if (!g_obs_flags.enabled()) {
+    return;
+  }
+  // One representative ByteScheduler run, executed serially on this thread:
+  // the TraceRecorder is not thread-safe, so the figure sweeps above run
+  // uninstrumented and this rerun owns both sinks exclusively.
+  TraceRecorder trace;
+  MetricsRegistry metrics;
+  JobConfig run = WithMode(job, SchedMode::kByteScheduler);
+  run.trace = g_obs_flags.trace_path.empty() ? nullptr : &trace;
+  run.metrics = g_obs_flags.metrics_path.empty() ? nullptr : &metrics;
+  RunTrainingJob(run);
+  if (!g_obs_flags.trace_path.empty()) {
+    std::ofstream out(g_obs_flags.trace_path);
+    trace.WriteChromeTrace(out);
+    std::printf("trace artifact  : %s (%zu events, %s on %s)\n", g_obs_flags.trace_path.c_str(),
+                trace.num_events(), run.model.name.c_str(), run.setup.name.c_str());
+  }
+  if (!g_obs_flags.metrics_path.empty()) {
+    std::ofstream out(g_obs_flags.metrics_path);
+    metrics.Snapshot().WriteJson(out);
+    std::printf("metrics artifact: %s\n", g_obs_flags.metrics_path.c_str());
+  }
 }
 
 }  // namespace bench

@@ -62,9 +62,17 @@ void PrintScalingFigure(const std::string& title, const ModelProfile& model, boo
 std::string GainPercent(double sched, double baseline);
 
 // Parses the common bench flags (--jobs N, default hardware concurrency) and
-// installs the result as the process-wide sweep worker count. Returns the
-// effective jobs value.
+// installs the result as the process-wide sweep worker count, plus the
+// shared observability flags (--trace / --metrics / --obs) consumed by
+// MaybeWriteObsArtifacts. Returns the effective jobs value.
 int InitBenchJobs(int argc, const char* const* argv);
+
+// When InitBenchJobs saw --trace/--metrics/--obs: reruns `job` (forced to
+// ByteScheduler mode, serially — the trace sink is single-threaded) with the
+// observability sinks attached and writes the requested artifact files.
+// No-op otherwise. PrintScalingFigure calls this with its first
+// (setup, GPU count) cell, so every figure binary emits artifacts for free.
+void MaybeWriteObsArtifacts(const JobConfig& job);
 
 }  // namespace bench
 }  // namespace bsched

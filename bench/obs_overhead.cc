@@ -1,0 +1,173 @@
+// Instrumentation-overhead benchmark: proves the observability layer is
+// zero-cost when disabled and cheap when enabled.
+//
+//  1. Event-loop churn (the micro_sim workload, shared via bench/churn.h)
+//     with instrumentation disabled, compared against the BENCH_sim.json
+//     baseline micro_sim wrote: the hook sites compiled into the hot paths
+//     must not cost measurable events/sec. Slower than the baseline by more
+//     than --tolerance fails the run (exit 1) — this is the < 3% assertion
+//     wired into `ctest -L perf`.
+//  2. A reference training job in three modes — off / metrics / metrics +
+//     trace — reporting the enabled-mode wall-clock overhead (informational;
+//     enabled tracing allocates span strings and is allowed to cost more).
+//
+// Writes BENCH_obs.json next to BENCH_sim.json.
+//
+// Flags: --rounds N        best-of rounds per measurement (default 3)
+//        --churn-events N  events per churn round (default 300000)
+//        --out PATH        output JSON (default BENCH_obs.json)
+//        --baseline PATH   BENCH_sim.json to compare against (missing file
+//                          or empty path skips the comparison)
+//        --tolerance F     allowed slowdown vs baseline (default 0.03)
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "bench/churn.h"
+#include "src/common/flags.h"
+#include "src/common/trace.h"
+#include "src/model/zoo.h"
+#include "src/obs/json_lite.h"
+#include "src/obs/metrics.h"
+#include "src/runtime/cluster.h"
+#include "src/runtime/training_job.h"
+#include "src/sim/simulator.h"
+
+namespace bsched {
+namespace {
+
+enum class ObsMode { kOff, kMetrics, kMetricsAndTrace };
+
+JobConfig ReferenceJob() {
+  JobConfig job;
+  job.model = Vgg16();
+  job.setup = Setup::MxnetPsRdma();
+  job.num_machines = 2;
+  job.bandwidth = Bandwidth::Gbps(100);
+  job.mode = SchedMode::kByteScheduler;
+  job.warmup_iters = 1;
+  job.measure_iters = 2;
+  return job;
+}
+
+// Best-of wall-clock seconds of the reference job in one observability mode.
+// Each timed round runs the job several times (a single simulation finishes
+// in ~1 ms, too short to time) with fresh sinks per run, so enabled-mode
+// costs include sink writes but not file I/O.
+double MeasureJobSec(ObsMode mode, int rounds) {
+  constexpr int kRepsPerRound = 20;
+  double best = 1e300;
+  for (int r = 0; r < rounds; ++r) {
+    const auto start = std::chrono::steady_clock::now();
+    for (int rep = 0; rep < kRepsPerRound; ++rep) {
+      TraceRecorder trace;
+      MetricsRegistry metrics;
+      JobConfig job = ReferenceJob();
+      if (mode != ObsMode::kOff) {
+        job.metrics = &metrics;
+      }
+      if (mode == ObsMode::kMetricsAndTrace) {
+        job.trace = &trace;
+      }
+      RunTrainingJob(job);
+    }
+    best = std::min(best, bench::SecondsSince(start) / kRepsPerRound);
+  }
+  return best;
+}
+
+// events_per_sec from a BENCH_sim.json; 0 when the file is missing or does
+// not parse.
+double BaselineEventsPerSec(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return 0.0;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  obs::JsonValue root;
+  std::string error;
+  if (!obs::ParseJson(buffer.str(), &root, &error)) {
+    std::fprintf(stderr, "warning: cannot parse %s: %s\n", path.c_str(), error.c_str());
+    return 0.0;
+  }
+  const obs::JsonValue* loop = root.Find("event_loop");
+  if (loop == nullptr) {
+    return 0.0;
+  }
+  const obs::JsonValue* rate = loop->Find("events_per_sec");
+  return rate != nullptr ? rate->NumberOr(0.0) : 0.0;
+}
+
+}  // namespace
+}  // namespace bsched
+
+int main(int argc, char** argv) {
+  using namespace bsched;
+
+  const Flags flags(argc, argv);
+  const int rounds = static_cast<int>(flags.GetInt("rounds", 3));
+  const int churn_events = static_cast<int>(flags.GetInt("churn-events", 300000));
+  const std::string out_path = flags.GetString("out", "BENCH_obs.json");
+  const std::string baseline_path = flags.GetString("baseline", "BENCH_sim.json");
+  const double tolerance = flags.GetDouble("tolerance", 0.03);
+
+  std::printf("obs_overhead: instrumentation cost (rounds=%d)\n", rounds);
+
+  // 1. Disabled-instrumentation event loop vs the micro_sim baseline.
+  const bench::ChurnResult churn =
+      bench::MeasureChurn<Simulator, EventHandle>(churn_events, rounds);
+  const double baseline = BaselineEventsPerSec(baseline_path);
+  double slowdown = 0.0;
+  bool within_tolerance = true;
+  if (baseline > 0.0) {
+    slowdown = 1.0 - churn.events_per_sec / baseline;
+    within_tolerance = slowdown <= tolerance;
+    std::printf("  event loop (obs disabled): %.2fM events/sec vs baseline %.2fM (%+.1f%%)%s\n",
+                churn.events_per_sec / 1e6, baseline / 1e6, -100.0 * slowdown,
+                within_tolerance ? "" : "  ** EXCEEDS TOLERANCE **");
+  } else {
+    std::printf("  event loop (obs disabled): %.2fM events/sec (no baseline at %s)\n",
+                churn.events_per_sec / 1e6, baseline_path.c_str());
+  }
+
+  // 2. Enabled-mode cost on a reference training job (informational).
+  const double off_sec = MeasureJobSec(ObsMode::kOff, rounds);
+  const double metrics_sec = MeasureJobSec(ObsMode::kMetrics, rounds);
+  const double full_sec = MeasureJobSec(ObsMode::kMetricsAndTrace, rounds);
+  std::printf("  reference job: off %.3fs, +metrics %.3fs (%+.1f%%), +trace %.3fs (%+.1f%%)\n",
+              off_sec, metrics_sec, 100.0 * (metrics_sec / off_sec - 1.0), full_sec,
+              100.0 * (full_sec / off_sec - 1.0));
+
+  FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(out, "{\n");
+  std::fprintf(out, "  \"benchmark\": \"obs_overhead\",\n");
+  std::fprintf(out, "  \"rounds\": %d,\n", rounds);
+  std::fprintf(out, "  \"event_loop_disabled\": {\n");
+  std::fprintf(out, "    \"events\": %d,\n", churn_events);
+  std::fprintf(out, "    \"events_per_sec\": %.0f,\n", churn.events_per_sec);
+  std::fprintf(out, "    \"baseline_events_per_sec\": %.0f,\n", baseline);
+  std::fprintf(out, "    \"slowdown\": %.4f,\n", slowdown);
+  std::fprintf(out, "    \"tolerance\": %.4f,\n", tolerance);
+  std::fprintf(out, "    \"within_tolerance\": %s\n", within_tolerance ? "true" : "false");
+  std::fprintf(out, "  },\n");
+  std::fprintf(out, "  \"reference_job\": {\n");
+  std::fprintf(out, "    \"off_sec\": %.4f,\n", off_sec);
+  std::fprintf(out, "    \"metrics_sec\": %.4f,\n", metrics_sec);
+  std::fprintf(out, "    \"metrics_trace_sec\": %.4f,\n", full_sec);
+  std::fprintf(out, "    \"metrics_overhead\": %.4f,\n", metrics_sec / off_sec - 1.0);
+  std::fprintf(out, "    \"metrics_trace_overhead\": %.4f\n", full_sec / off_sec - 1.0);
+  std::fprintf(out, "  }\n");
+  std::fprintf(out, "}\n");
+  std::fclose(out);
+  std::printf("  wrote %s\n", out_path.c_str());
+  return within_tolerance ? 0 : 1;
+}

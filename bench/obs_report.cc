@@ -1,0 +1,501 @@
+// obs_report: offline inspector for the observability artifacts the figure
+// binaries emit (--trace=<path> --metrics=<path>). Loads a Chrome/Perfetto
+// trace and/or a metrics snapshot and prints:
+//   - per-track utilization (busy time / wall clock),
+//   - per-worker compute/communication overlap (the quantity ByteScheduler
+//     optimizes — compare against Figure 2),
+//   - a straggler summary (per-worker GPU busy-time spread),
+//   - flow-arc statistics: how many partition arcs the trace carries and a
+//     sample end-to-end path across scheduler/link/shard tracks,
+//   - counter / gauge / histogram tables from the metrics snapshot.
+//
+// Flags: --trace=PATH    Chrome trace JSON (as written by --trace)
+//        --metrics=PATH  metrics snapshot JSON (as written by --metrics)
+//        --check         validate the artifacts instead of just printing:
+//                        exit 1 unless the trace contains at least one flow
+//                        arc crossing >= 3 tracks and the snapshot carries
+//                        the scheduler/link/fault acceptance metrics.
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/flags.h"
+#include "src/common/table.h"
+#include "src/obs/json_lite.h"
+#include "src/obs/metrics.h"
+
+namespace bsched {
+namespace {
+
+struct Span {
+  int tid = 0;
+  double ts = 0.0;   // microseconds
+  double dur = 0.0;  // microseconds
+  std::string name;
+};
+
+struct FlowPoint {
+  int tid = 0;
+  double ts = 0.0;
+  char ph = 't';  // 's' start, 't' step, 'f' end
+};
+
+struct TraceData {
+  std::map<int, std::string> track_names;  // tid -> thread_name
+  std::vector<Span> spans;
+  std::map<uint64_t, std::vector<FlowPoint>> flows;  // flow id -> points
+};
+
+struct MetricsData {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, int64_t> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+};
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path);
+  if (!in) {
+    return false;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  *out = buffer.str();
+  return true;
+}
+
+bool LoadTrace(const std::string& path, TraceData* out) {
+  std::string text;
+  if (!ReadFile(path, &text)) {
+    std::fprintf(stderr, "error: cannot read trace %s\n", path.c_str());
+    return false;
+  }
+  obs::JsonValue root;
+  std::string error;
+  if (!obs::ParseJson(text, &root, &error) || !root.is_array()) {
+    std::fprintf(stderr, "error: %s is not a Chrome trace array (%s)\n", path.c_str(),
+                 error.c_str());
+    return false;
+  }
+  for (const obs::JsonValue& ev : root.array) {
+    if (!ev.is_object()) {
+      continue;
+    }
+    const obs::JsonValue* ph = ev.Find("ph");
+    if (ph == nullptr || !ph->is_string() || ph->str.empty()) {
+      continue;
+    }
+    const int tid = static_cast<int>(ev.Find("tid") != nullptr ? ev.Find("tid")->IntOr(0) : 0);
+    const double ts = ev.Find("ts") != nullptr ? ev.Find("ts")->NumberOr(0.0) : 0.0;
+    switch (ph->str[0]) {
+      case 'M': {
+        const obs::JsonValue* name = ev.Find("name");
+        const obs::JsonValue* args = ev.Find("args");
+        if (name != nullptr && name->StringOr("") == "thread_name" && args != nullptr) {
+          const obs::JsonValue* track = args->Find("name");
+          if (track != nullptr && track->is_string()) {
+            out->track_names[tid] = track->str;
+          }
+        }
+        break;
+      }
+      case 'X': {
+        Span span;
+        span.tid = tid;
+        span.ts = ts;
+        span.dur = ev.Find("dur") != nullptr ? ev.Find("dur")->NumberOr(0.0) : 0.0;
+        const obs::JsonValue* name = ev.Find("name");
+        span.name = name != nullptr ? name->StringOr("") : "";
+        out->spans.push_back(std::move(span));
+        break;
+      }
+      case 's':
+      case 't':
+      case 'f': {
+        const obs::JsonValue* id = ev.Find("id");
+        if (id != nullptr && id->is_number()) {
+          out->flows[static_cast<uint64_t>(id->number)].push_back(FlowPoint{tid, ts, ph->str[0]});
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  return true;
+}
+
+bool LoadMetrics(const std::string& path, MetricsData* out) {
+  std::string text;
+  if (!ReadFile(path, &text)) {
+    std::fprintf(stderr, "error: cannot read metrics %s\n", path.c_str());
+    return false;
+  }
+  obs::JsonValue root;
+  std::string error;
+  if (!obs::ParseJson(text, &root, &error) || !root.is_object()) {
+    std::fprintf(stderr, "error: %s is not a metrics snapshot (%s)\n", path.c_str(),
+                 error.c_str());
+    return false;
+  }
+  if (const obs::JsonValue* counters = root.Find("counters"); counters != nullptr) {
+    for (const auto& [name, value] : counters->object) {
+      out->counters[name] = static_cast<uint64_t>(value.IntOr(0));
+    }
+  }
+  if (const obs::JsonValue* gauges = root.Find("gauges"); gauges != nullptr) {
+    for (const auto& [name, value] : gauges->object) {
+      out->gauges[name] = value.IntOr(0);
+    }
+  }
+  if (const obs::JsonValue* histograms = root.Find("histograms"); histograms != nullptr) {
+    for (const auto& [name, value] : histograms->object) {
+      HistogramSnapshot snap;
+      snap.count = static_cast<uint64_t>(value.Find("count") != nullptr
+                                             ? value.Find("count")->IntOr(0)
+                                             : 0);
+      snap.sum = value.Find("sum") != nullptr ? value.Find("sum")->IntOr(0) : 0;
+      if (const obs::JsonValue* buckets = value.Find("buckets");
+          buckets != nullptr && buckets->is_array()) {
+        for (const obs::JsonValue& pair : buckets->array) {
+          if (pair.is_array() && pair.array.size() == 2) {
+            snap.buckets.emplace_back(static_cast<int>(pair.array[0].IntOr(0)),
+                                      static_cast<uint64_t>(pair.array[1].IntOr(0)));
+          }
+        }
+      }
+      out->histograms[name] = std::move(snap);
+    }
+  }
+  return true;
+}
+
+// ---- interval arithmetic (all in trace microseconds) ----------------------
+
+using Intervals = std::vector<std::pair<double, double>>;
+
+Intervals Merge(Intervals spans) {
+  std::sort(spans.begin(), spans.end());
+  Intervals merged;
+  for (const auto& [start, end] : spans) {
+    if (!merged.empty() && start <= merged.back().second) {
+      merged.back().second = std::max(merged.back().second, end);
+    } else {
+      merged.emplace_back(start, end);
+    }
+  }
+  return merged;
+}
+
+double TotalLength(const Intervals& merged) {
+  double total = 0.0;
+  for (const auto& [start, end] : merged) {
+    total += end - start;
+  }
+  return total;
+}
+
+// Total length of the intersection of two merged interval lists.
+double Intersection(const Intervals& a, const Intervals& b) {
+  double total = 0.0;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    const double lo = std::max(a[i].first, b[j].first);
+    const double hi = std::min(a[i].second, b[j].second);
+    if (hi > lo) {
+      total += hi - lo;
+    }
+    if (a[i].second < b[j].second) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return total;
+}
+
+std::string TrackName(const TraceData& trace, int tid) {
+  const auto it = trace.track_names.find(tid);
+  return it != trace.track_names.end() ? it->second : "tid" + std::to_string(tid);
+}
+
+int DistinctTracks(const std::vector<FlowPoint>& points) {
+  std::vector<int> tids;
+  for (const FlowPoint& p : points) {
+    tids.push_back(p.tid);
+  }
+  std::sort(tids.begin(), tids.end());
+  tids.erase(std::unique(tids.begin(), tids.end()), tids.end());
+  return static_cast<int>(tids.size());
+}
+
+// ---- report sections ------------------------------------------------------
+
+struct TraceSummary {
+  double wall_us = 0.0;
+  int multi_track_arcs = 0;  // flow arcs crossing >= 3 distinct tracks
+};
+
+TraceSummary ReportTrace(const TraceData& trace) {
+  TraceSummary summary;
+  std::map<int, Intervals> by_track;
+  double first = 1e300;
+  double last = -1e300;
+  for (const Span& span : trace.spans) {
+    by_track[span.tid].emplace_back(span.ts, span.ts + span.dur);
+    first = std::min(first, span.ts);
+    last = std::max(last, span.ts + span.dur);
+  }
+  if (trace.spans.empty()) {
+    std::printf("trace: no spans\n\n");
+    return summary;
+  }
+  summary.wall_us = last - first;
+  std::printf("trace: %zu spans, %zu flow arcs, %zu tracks, wall clock %.3f ms\n",
+              trace.spans.size(), trace.flows.size(), by_track.size(), summary.wall_us / 1e3);
+
+  // Per-track utilization.
+  Table util({"track", "spans", "busy ms", "util %"});
+  std::map<int, Intervals> merged_by_track;
+  for (auto& [tid, spans] : by_track) {
+    merged_by_track[tid] = Merge(std::move(spans));
+  }
+  std::map<int, size_t> span_counts;
+  for (const Span& span : trace.spans) {
+    ++span_counts[span.tid];
+  }
+  for (const auto& [tid, merged] : merged_by_track) {
+    const double busy = TotalLength(merged);
+    util.AddRow({TrackName(trace, tid), std::to_string(span_counts[tid]),
+                 Table::Num(busy / 1e3, 3), Table::Num(100.0 * busy / summary.wall_us, 1)});
+  }
+  std::printf("\n-- track utilization --\n");
+  util.RenderAscii(std::cout);
+
+  // Compute/communication overlap per worker (Figure 2's quantity).
+  std::map<int, int> gpu_tid;   // worker -> tid of workerN/gpu
+  std::map<int, int> comm_tid;  // worker -> tid of workerN/comm
+  for (const auto& [tid, name] : trace.track_names) {
+    if (name.rfind("worker", 0) != 0) {
+      continue;
+    }
+    const size_t slash = name.find('/');
+    if (slash == std::string::npos) {
+      continue;
+    }
+    const int worker = std::atoi(name.substr(6, slash - 6).c_str());
+    const std::string kind = name.substr(slash + 1);
+    if (kind == "gpu") {
+      gpu_tid[worker] = tid;
+    } else if (kind == "comm") {
+      comm_tid[worker] = tid;
+    }
+  }
+  if (!gpu_tid.empty() && !comm_tid.empty()) {
+    Table overlap({"worker", "gpu ms", "comm ms", "overlap ms", "overlap %"});
+    std::vector<double> gpu_busy;
+    for (const auto& [worker, gtid] : gpu_tid) {
+      const auto ct = comm_tid.find(worker);
+      if (ct == comm_tid.end()) {
+        continue;
+      }
+      const Intervals& gpu = merged_by_track[gtid];
+      const Intervals& comm = merged_by_track[ct->second];
+      const double gpu_ms = TotalLength(gpu) / 1e3;
+      const double comm_ms = TotalLength(comm) / 1e3;
+      const double both_ms = Intersection(gpu, comm) / 1e3;
+      const double denom = std::min(gpu_ms, comm_ms);
+      gpu_busy.push_back(gpu_ms);
+      overlap.AddRow({std::to_string(worker), Table::Num(gpu_ms, 3), Table::Num(comm_ms, 3),
+                      Table::Num(both_ms, 3),
+                      Table::Num(denom > 0 ? 100.0 * both_ms / denom : 0.0, 1)});
+    }
+    std::printf("\n-- compute/communication overlap (cf. Fig. 2) --\n");
+    overlap.RenderAscii(std::cout);
+
+    // Straggler summary: spread of per-worker GPU busy time.
+    if (gpu_busy.size() > 1) {
+      double mean = 0.0;
+      for (double b : gpu_busy) {
+        mean += b;
+      }
+      mean /= static_cast<double>(gpu_busy.size());
+      const auto slowest = std::max_element(gpu_busy.begin(), gpu_busy.end());
+      std::printf("\nstraggler: worker %zu gpu-busy %.3f ms vs mean %.3f ms (%.2fx)\n",
+                  static_cast<size_t>(slowest - gpu_busy.begin()), *slowest, mean,
+                  mean > 0 ? *slowest / mean : 0.0);
+    }
+  }
+
+  // Flow arcs: a partition's life across tracks.
+  int complete = 0;
+  const std::vector<FlowPoint>* sample = nullptr;
+  for (const auto& [id, points] : trace.flows) {
+    bool has_start = false;
+    bool has_end = false;
+    for (const FlowPoint& p : points) {
+      has_start |= p.ph == 's';
+      has_end |= p.ph == 'f';
+    }
+    if (has_start && has_end) {
+      ++complete;
+    }
+    if (DistinctTracks(points) >= 3) {
+      ++summary.multi_track_arcs;
+      if (sample == nullptr && has_start && has_end) {
+        sample = &points;
+      }
+    }
+  }
+  std::printf("\n-- flow arcs --\n");
+  std::printf("arcs: %zu total, %d complete (start+end), %d crossing >= 3 tracks\n",
+              trace.flows.size(), complete, summary.multi_track_arcs);
+  if (sample != nullptr) {
+    std::vector<FlowPoint> path = *sample;
+    std::stable_sort(path.begin(), path.end(),
+                     [](const FlowPoint& a, const FlowPoint& b) { return a.ts < b.ts; });
+    std::printf("sample arc:");
+    for (const FlowPoint& p : path) {
+      std::printf(" -> %s", TrackName(trace, p.tid).c_str());
+    }
+    std::printf("\n");
+  }
+  std::printf("\n");
+  return summary;
+}
+
+void ReportMetrics(const MetricsData& metrics) {
+  if (!metrics.counters.empty()) {
+    Table table({"counter", "value"});
+    for (const auto& [name, value] : metrics.counters) {
+      table.AddRow({name, std::to_string(value)});
+    }
+    std::printf("-- counters --\n");
+    table.RenderAscii(std::cout);
+    std::printf("\n");
+  }
+  if (!metrics.gauges.empty()) {
+    Table table({"gauge", "value"});
+    for (const auto& [name, value] : metrics.gauges) {
+      table.AddRow({name, std::to_string(value)});
+    }
+    std::printf("-- gauges --\n");
+    table.RenderAscii(std::cout);
+    std::printf("\n");
+  }
+  if (!metrics.histograms.empty()) {
+    Table table({"histogram", "count", "mean", "p50", "p90", "p99"});
+    for (const auto& [name, snap] : metrics.histograms) {
+      const double mean =
+          snap.count > 0 ? static_cast<double>(snap.sum) / static_cast<double>(snap.count) : 0.0;
+      table.AddRow({name, std::to_string(snap.count), Table::Num(mean, 1),
+                    Table::Num(snap.Quantile(50), 1), Table::Num(snap.Quantile(90), 1),
+                    Table::Num(snap.Quantile(99), 1)});
+    }
+    std::printf("-- histograms (log2 buckets; quantiles approximate) --\n");
+    table.RenderAscii(std::cout);
+    std::printf("\n");
+  }
+}
+
+// Acceptance validation: the artifacts carry an end-to-end partition arc and
+// the scheduler/link/fault metrics the figures rely on.
+bool CheckArtifacts(bool have_trace, const TraceSummary& trace_summary, bool have_metrics,
+                    const MetricsData& metrics) {
+  bool ok = true;
+  if (have_trace && trace_summary.multi_track_arcs < 1) {
+    std::fprintf(stderr, "CHECK FAILED: no flow arc crosses >= 3 tracks\n");
+    ok = false;
+  }
+  if (have_metrics) {
+    auto has_histogram = [&](const std::string& suffix) {
+      for (const auto& [name, snap] : metrics.histograms) {
+        if (name.rfind("sched.", 0) == 0 && name.size() > suffix.size() &&
+            name.compare(name.size() - suffix.size(), suffix.size(), suffix) == 0 &&
+            snap.count > 0) {
+          return true;
+        }
+      }
+      return false;
+    };
+    if (!has_histogram(".queue_depth")) {
+      std::fprintf(stderr, "CHECK FAILED: no populated sched.*.queue_depth histogram\n");
+      ok = false;
+    }
+    if (!has_histogram(".credit_in_use")) {
+      std::fprintf(stderr, "CHECK FAILED: no populated sched.*.credit_in_use histogram\n");
+      ok = false;
+    }
+    bool link_busy = false;
+    for (const auto& entry : metrics.gauges) {
+      static const std::string kSuffix = ".busy_ns";
+      const std::string& name = entry.first;
+      if (name.rfind("net.", 0) == 0 && name.size() > kSuffix.size() &&
+          name.compare(name.size() - kSuffix.size(), kSuffix.size(), kSuffix) == 0) {
+        link_busy = true;
+        break;
+      }
+    }
+    if (!link_busy) {
+      std::fprintf(stderr, "CHECK FAILED: no net.*.busy_ns gauge\n");
+      ok = false;
+    }
+    if (metrics.counters.find("fault.core_retries") == metrics.counters.end()) {
+      std::fprintf(stderr, "CHECK FAILED: no fault.core_retries counter\n");
+      ok = false;
+    }
+  }
+  return ok;
+}
+
+}  // namespace
+}  // namespace bsched
+
+int main(int argc, char** argv) {
+  using namespace bsched;
+
+  const Flags flags(argc, argv);
+  const std::string trace_path = flags.GetString("trace", "");
+  const std::string metrics_path = flags.GetString("metrics", "");
+  const bool check = flags.GetBool("check", false);
+  if (trace_path.empty() && metrics_path.empty()) {
+    std::fprintf(stderr,
+                 "usage: obs_report --trace=trace.json --metrics=metrics.json [--check]\n"
+                 "(produce the inputs with e.g. `quickstart --obs`)\n");
+    return 2;
+  }
+
+  TraceData trace;
+  TraceSummary trace_summary;
+  const bool have_trace = !trace_path.empty();
+  if (have_trace) {
+    if (!LoadTrace(trace_path, &trace)) {
+      return 2;
+    }
+    trace_summary = ReportTrace(trace);
+  }
+
+  MetricsData metrics;
+  const bool have_metrics = !metrics_path.empty();
+  if (have_metrics) {
+    if (!LoadMetrics(metrics_path, &metrics)) {
+      return 2;
+    }
+    ReportMetrics(metrics);
+  }
+
+  if (check) {
+    if (!CheckArtifacts(have_trace, trace_summary, have_metrics, metrics)) {
+      return 1;
+    }
+    std::printf("check: OK\n");
+  }
+  return 0;
+}

@@ -12,12 +12,20 @@
 //                        fault injection (message drops, latency spikes,
 //                        stragglers, slow shards) and print the recovery
 //                        statistics.
+//        --trace[=path]  write a Chrome/Perfetto trace of the ByteScheduler
+//                        job (default path trace.json)
+//        --metrics[=path] write its metrics snapshot (default metrics.json)
+//        --obs           shorthand for --trace --metrics
+//                        Inspect both with: ./build/bench/obs_report
 #include <cstdio>
+#include <fstream>
 #include <vector>
 
 #include "src/common/flags.h"
+#include "src/common/trace.h"
 #include "src/exec/sweep_runner.h"
 #include "src/model/zoo.h"
+#include "src/obs/metrics.h"
 #include "src/runtime/cluster.h"
 #include "src/runtime/training_job.h"
 
@@ -29,6 +37,9 @@ int main(int argc, char** argv) {
   const bool chaos = flags.Has("chaos");
   const uint64_t chaos_seed =
       flags.GetBool("chaos", false) ? 1 : static_cast<uint64_t>(flags.GetInt("chaos", 1));
+  const ObsFlags obs = ParseObsFlags(flags);
+  TraceRecorder trace;
+  MetricsRegistry metrics;
 
   JobConfig job;
   job.model = Vgg16();
@@ -50,6 +61,15 @@ int main(int argc, char** argv) {
       run.mode = SchedMode::kByteScheduler;
       run.partition_bytes = tuned.partition_bytes;
       run.credit_bytes = tuned.credit_bytes;
+      if (obs.enabled() && !chaos) {
+        // Observe the ByteScheduler job (the interesting schedule). The
+        // sinks are attached to exactly one job — a TraceRecorder is not
+        // thread-safe — and read only after ParallelFor joins. With --chaos
+        // the sinks go to the chaos rerun below instead, so its trace shows
+        // the retry/retransmit activity.
+        run.trace = obs.trace_path.empty() ? nullptr : &trace;
+        run.metrics = obs.metrics_path.empty() ? nullptr : &metrics;
+      }
     }
     return RunTrainingJob(run);
   });
@@ -73,11 +93,32 @@ int main(int argc, char** argv) {
     job.partition_bytes = tuned.partition_bytes;
     job.credit_bytes = tuned.credit_bytes;
     job.chaos = FaultPlanConfig::Chaos(chaos_seed);
+    if (obs.enabled()) {
+      job.trace = obs.trace_path.empty() ? nullptr : &trace;
+      job.metrics = obs.metrics_path.empty() ? nullptr : &metrics;
+    }
     const JobResult chaotic = RunTrainingJob(job);
     std::printf("  chaos (seed %llu): %8.1f images/sec (%+.1f%% vs fault-free)\n",
                 static_cast<unsigned long long>(chaos_seed), chaotic.samples_per_sec,
                 100.0 * (chaotic.samples_per_sec / scheduled.samples_per_sec - 1.0));
     std::printf("    %s\n", chaotic.fault_stats.DebugString().c_str());
+  }
+
+  if (!obs.trace_path.empty()) {
+    std::ofstream out(obs.trace_path);
+    trace.WriteChromeTrace(out);
+    std::printf("  trace          : %s (%zu events; open in ui.perfetto.dev)\n",
+                obs.trace_path.c_str(), trace.num_events());
+  }
+  if (!obs.metrics_path.empty()) {
+    std::ofstream out(obs.metrics_path);
+    metrics.Snapshot().WriteJson(out);
+    std::printf("  metrics        : %s\n", obs.metrics_path.c_str());
+  }
+  if (obs.enabled()) {
+    std::printf("  inspect with   : obs_report --trace=%s --metrics=%s\n",
+                obs.trace_path.empty() ? "<none>" : obs.trace_path.c_str(),
+                obs.metrics_path.empty() ? "<none>" : obs.metrics_path.c_str());
   }
   return 0;
 }

@@ -25,6 +25,8 @@
 
 namespace bsched {
 
+class ObsContext;
+
 struct AllReduceConfig {
   int num_workers = 2;  // ring size (total GPUs)
   Bandwidth link_rate = Bandwidth::Gbps(100);
@@ -46,6 +48,9 @@ struct AllReduceConfig {
   // Core's timeout/retry recovery relaunches it. Delays model transient ring
   // congestion before the operation enters the ring.
   FaultInjector* faults = nullptr;
+  // Observability (null disables): ring occupancy spans + flow hops on the
+  // "ring" track, ring metrics at export. Passive; never schedules events.
+  ObsContext* obs = nullptr;
 
   // NCCL-like presets; latencies depend on the transport.
   static AllReduceConfig Nccl(int num_workers, Bandwidth link_rate,
@@ -64,6 +69,10 @@ class AllReduceBackend : public CommBackend {
   const AllReduceConfig& config() const { return config_; }
   SimTime ring_busy_time() const { return ring_->busy_time(); }
   uint64_t ops_completed() const { return ring_->jobs_completed(); }
+
+  // Exports end-of-run ring metrics (ring.busy_ns, ring.ops) into the obs
+  // registry. No-op without obs.
+  void ExportMetrics();
 
  private:
   Simulator* sim_;

@@ -2,10 +2,19 @@
 
 #include <algorithm>
 #include <string>
+#include <utility>
 
 #include "src/common/check.h"
+#include "src/obs/obs.h"
 
 namespace bsched {
+namespace {
+
+std::string PartName(int64_t tensor, int partition) {
+  return "t" + std::to_string(tensor) + ".p" + std::to_string(partition);
+}
+
+}  // namespace
 
 PsBackend::PsBackend(Simulator* sim, const PsConfig& config) : sim_(sim), config_(config) {
   BSCHED_CHECK(sim_ != nullptr);
@@ -35,6 +44,16 @@ PsBackend::PsBackend(Simulator* sim, const PsConfig& config) : sim_(sim), config
     for (auto& link : ingresses_) link->SetFaultInjector(config_.faults);
     for (auto& link : egresses_) link->SetFaultInjector(config_.faults);
   }
+  if (config_.obs != nullptr) {
+    for (auto& link : uplinks_) link->SetObs(config_.obs);
+    for (auto& link : downlinks_) link->SetObs(config_.obs);
+    for (auto& link : ingresses_) link->SetObs(config_.obs);
+    for (auto& link : egresses_) link->SetObs(config_.obs);
+  }
+}
+
+bool PsBackend::Tracing() const {
+  return config_.obs != nullptr && config_.obs->tracing();
 }
 
 int PsBackend::ShardFor(int64_t tensor_id, int partition) const {
@@ -61,14 +80,27 @@ void PsBackend::Start(const SubCommTask& subtask, std::function<void()> on_finis
 
 void PsBackend::HandlePush(const SubCommTask& subtask, std::function<void()> on_finish) {
   const int shard = ShardFor(subtask.tensor_id, subtask.partition);
+  const SimTime submit = sim_->Now();
   uplinks_[subtask.worker]->SendWithFlush(
       subtask.bytes,
       /*on_flushed=*/
-      [this, subtask, shard, on_finish = std::move(on_finish)]() mutable {
+      [this, subtask, shard, submit, on_finish = std::move(on_finish)]() mutable {
         // Sender-side completion (the stack flushed the partition): this is
         // what returns scheduler credit, after a small completion latency.
         // From here the data leg is the backend's responsibility; with faults
         // enabled an ack timer guarantees it eventually reaches the shard.
+        if (Tracing()) {
+          const std::string track = "net/worker" + std::to_string(subtask.worker) + ".up";
+          TraceRecorder* trace = config_.obs->trace();
+          trace->AddSpan(track, PartName(subtask.tensor_id, subtask.partition) + ".push", submit,
+                         sim_->Now(),
+                         {TraceArg::Int("bytes", subtask.bytes),
+                          TraceArg::Int("layer", subtask.layer),
+                          TraceArg::Int("shard", shard)});
+          if (subtask.flow != 0) {
+            trace->AddFlow(track, "flush", sim_->Now(), subtask.flow, FlowPhase::kStep);
+          }
+        }
         if (config_.faults != nullptr) {
           ArmPushAckTimer(subtask, shard, /*attempt=*/0);
         }
@@ -128,6 +160,24 @@ SimTime PsBackend::ScaledUpdateTime(int shard, Bytes bytes) const {
   return update_time;
 }
 
+// Records the shard-CPU update execution window. Called from the update's
+// completion callback, so the window is [now - update_time, now] (the shard
+// CPU is a FIFO resource: the job ran contiguously and just ended).
+void PsBackend::RecordUpdateSpan(int shard, int64_t tensor, int partition, uint64_t flow,
+                                 SimTime update_time) {
+  if (!Tracing()) {
+    return;
+  }
+  const std::string track = "ps/shard" + std::to_string(shard);
+  const SimTime end = sim_->Now();
+  TraceRecorder* trace = config_.obs->trace();
+  trace->AddSpan(track, PartName(tensor, partition) + ".update", end - update_time, end,
+                 {TraceArg::Int("shard", shard)});
+  if (flow != 0) {
+    trace->AddFlow(track, "update", end, flow, FlowPhase::kStep);
+  }
+}
+
 void PsBackend::OnPushArrived(const SubCommTask& subtask, int shard) {
   if (config_.faults != nullptr) {
     auto ack = pending_acks_.find(AckKey{subtask.tensor_id, subtask.partition, subtask.worker});
@@ -136,6 +186,10 @@ void PsBackend::OnPushArrived(const SubCommTask& subtask, int shard) {
       pending_acks_.erase(ack);
     }
   }
+  if (Tracing() && subtask.flow != 0) {
+    config_.obs->trace()->AddFlow("ps/shard" + std::to_string(shard), "arrive", sim_->Now(),
+                                  subtask.flow, FlowPhase::kStep);
+  }
   SlotState& slot = slots_[{subtask.tensor_id, subtask.partition}];
   const SimTime update_time = ScaledUpdateTime(shard, subtask.bytes);
   if (!config_.synchronous) {
@@ -143,15 +197,17 @@ void PsBackend::OnPushArrived(const SubCommTask& subtask, int shard) {
     // pullable after the first update.
     shard_cpus_[shard]->Submit(update_time, [this, shard, tensor = subtask.tensor_id,
                                              partition = subtask.partition,
-                                             bytes = subtask.bytes] {
+                                             bytes = subtask.bytes, flow = subtask.flow,
+                                             update_time] {
+      RecordUpdateSpan(shard, tensor, partition, flow, update_time);
       SlotState& s = slots_[{tensor, partition}];
       if (!s.aggregated) {
         s.aggregated = true;
       }
       auto pending = std::move(s.pending_pulls);
       s.pending_pulls.clear();
-      for (auto& [worker, cb] : pending) {
-        DeliverPull(shard, worker, bytes, std::move(cb));
+      for (auto& p : pending) {
+        DeliverPull(shard, p.subtask, bytes, std::move(p.on_finish));
       }
     });
     return;
@@ -166,13 +222,15 @@ void PsBackend::OnPushArrived(const SubCommTask& subtask, int shard) {
   // All workers' gradients for this partition arrived: run the update, then
   // release any pulls that were admitted early.
   shard_cpus_[shard]->Submit(update_time, [this, shard, tensor = subtask.tensor_id,
-                                           partition = subtask.partition, bytes = subtask.bytes] {
+                                           partition = subtask.partition, bytes = subtask.bytes,
+                                           flow = subtask.flow, update_time] {
+    RecordUpdateSpan(shard, tensor, partition, flow, update_time);
     SlotState& s = slots_[{tensor, partition}];
     s.aggregated = true;
     auto pending = std::move(s.pending_pulls);
     s.pending_pulls.clear();
-    for (auto& [worker, cb] : pending) {
-      DeliverPull(shard, worker, bytes, std::move(cb));
+    for (auto& p : pending) {
+      DeliverPull(shard, p.subtask, bytes, std::move(p.on_finish));
     }
     for (const auto& listener : listeners_) {
       listener(tensor, partition);
@@ -187,14 +245,31 @@ void PsBackend::HandlePull(const SubCommTask& subtask, std::function<void()> on_
                                            on_finish = std::move(on_finish)]() mutable {
     SlotState& slot = slots_[{subtask.tensor_id, subtask.partition}];
     if (!slot.aggregated) {
-      slot.pending_pulls.emplace_back(subtask.worker, std::move(on_finish));
+      slot.pending_pulls.push_back(PendingPull{subtask, std::move(on_finish)});
       return;
     }
-    DeliverPull(shard, subtask.worker, subtask.bytes, std::move(on_finish));
+    DeliverPull(shard, subtask, subtask.bytes, std::move(on_finish));
   });
 }
 
-void PsBackend::DeliverPull(int shard, int worker, Bytes bytes, std::function<void()> on_finish) {
+void PsBackend::DeliverPull(int shard, const SubCommTask& subtask, Bytes bytes,
+                            std::function<void()> on_finish) {
+  const int worker = subtask.worker;
+  if (Tracing()) {
+    // Wrap the completion so the downlink span and the flow hop are stamped
+    // at actual delivery time (after egress + downlink serialization).
+    const SimTime submit = sim_->Now();
+    on_finish = [this, subtask, bytes, submit, on_finish = std::move(on_finish)]() mutable {
+      const std::string track = "net/worker" + std::to_string(subtask.worker) + ".down";
+      TraceRecorder* trace = config_.obs->trace();
+      trace->AddSpan(track, PartName(subtask.tensor_id, subtask.partition) + ".pull", submit,
+                     sim_->Now(), {TraceArg::Int("bytes", bytes)});
+      if (subtask.flow != 0) {
+        trace->AddFlow(track, "deliver", sim_->Now(), subtask.flow, FlowPhase::kStep);
+      }
+      on_finish();
+    };
+  }
   egresses_[shard]->Send(bytes, [this, worker, bytes, on_finish = std::move(on_finish)]() mutable {
     downlinks_[worker]->Send(bytes, std::move(on_finish));
   });
@@ -230,6 +305,24 @@ double PsBackend::ShardLoadImbalance() const {
   }
   const double mean = static_cast<double>(total) / config_.num_shards;
   return static_cast<double>(max_out) / mean;
+}
+
+void PsBackend::ExportMetrics() {
+  if (config_.obs == nullptr || config_.obs->metrics() == nullptr) {
+    return;
+  }
+  for (auto& link : uplinks_) link->ExportMetrics();
+  for (auto& link : downlinks_) link->ExportMetrics();
+  for (auto& link : ingresses_) link->ExportMetrics();
+  for (auto& link : egresses_) link->ExportMetrics();
+  MetricsRegistry* m = config_.obs->metrics();
+  for (int s = 0; s < config_.num_shards; ++s) {
+    const std::string prefix = "ps.shard" + std::to_string(s);
+    m->gauge(prefix + ".bytes_in")->Set(shard_bytes_in(s));
+    m->gauge(prefix + ".bytes_out")->Set(shard_bytes_out(s));
+    m->gauge(prefix + ".cpu_busy_ns")->Set(shard_cpus_[s]->busy_time().nanos());
+  }
+  m->counter("ps.push_retransmits")->Inc(push_retransmits_);
 }
 
 std::string PsBackend::DebugString() const {

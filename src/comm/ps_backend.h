@@ -69,6 +69,10 @@ struct PsConfig {
   // Fault injection (null disables it and all recovery machinery; the
   // fault-free event sequence is then byte-identical to a faultless build).
   FaultInjector* faults = nullptr;
+  // Observability (null disables): link metrics plus trace spans/flow steps
+  // on net/worker* and ps/shard* tracks. Instrumentation is passive — it
+  // never schedules events, so the event sequence is unchanged.
+  ObsContext* obs = nullptr;
   // Push data-leg ack timeout; retransmits back off by retry_backoff^attempt
   // up to max_push_retries. Only armed when `faults` is set.
   SimTime push_ack_timeout = SimTime::Millis(25);
@@ -113,7 +117,18 @@ class PsBackend : public CommBackend {
   // Retransmissions attempted for lost push data legs (0 without faults).
   uint64_t push_retransmits() const { return push_retransmits_; }
 
+  // Exports end-of-run metrics (per-link busy time, per-shard bytes/CPU
+  // time, retransmit count) into the obs registry. No-op without obs.
+  void ExportMetrics();
+
  private:
+  // A pull admitted before its slot aggregated; replayed on aggregation.
+  // Carries the full subtask so the replayed delivery keeps its flow id.
+  struct PendingPull {
+    SubCommTask subtask;
+    std::function<void()> on_finish;
+  };
+
   // Aggregation state for one (layer, partition) slot on its shard.
   struct SlotState {
     // Workers whose gradient copy arrived this aggregation round; a set (not
@@ -121,16 +136,22 @@ class PsBackend : public CommBackend {
     std::set<int> arrived;
     bool aggregated = false;
     // Pull deliveries admitted before aggregation completed.
-    std::vector<std::pair<int, std::function<void()>>> pending_pulls;
+    std::vector<PendingPull> pending_pulls;
   };
 
   using AckKey = std::tuple<int64_t, int, int>;  // (tensor, partition, worker)
 
+  bool Tracing() const;
+  void RecordUpdateSpan(int shard, int64_t tensor, int partition, uint64_t flow,
+                        SimTime update_time);
   int ShardFor(int64_t tensor_id, int partition) const;
   void HandlePush(const SubCommTask& subtask, std::function<void()> on_finish);
   void HandlePull(const SubCommTask& subtask, std::function<void()> on_finish);
   void OnPushArrived(const SubCommTask& subtask, int shard);
-  void DeliverPull(int shard, int worker, Bytes bytes, std::function<void()> on_finish);
+  // `bytes` is the delivered payload size: the pull's own size on the direct
+  // path, the aggregating push's size when replayed from pending_pulls.
+  void DeliverPull(int shard, const SubCommTask& subtask, Bytes bytes,
+                   std::function<void()> on_finish);
   void SendPushData(const SubCommTask& subtask, int shard);
   void ArmPushAckTimer(const SubCommTask& subtask, int shard, int attempt);
   SimTime ScaledUpdateTime(int shard, Bytes bytes) const;

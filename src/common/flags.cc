@@ -59,4 +59,36 @@ bool Flags::GetBool(const std::string& name, bool def) const {
   return it->second == "true" || it->second == "1" || it->second == "yes";
 }
 
+namespace {
+
+// "--trace" parses as the boolean "true"; treat that (and an explicit empty
+// value) as "enabled with the default path".
+std::string PathOrDefault(const Flags& flags, const std::string& name, const char* def) {
+  if (!flags.Has(name)) {
+    return "";
+  }
+  const std::string value = flags.GetString(name, "");
+  if (value.empty() || value == "true") {
+    return def;
+  }
+  return value;
+}
+
+}  // namespace
+
+ObsFlags ParseObsFlags(const Flags& flags) {
+  ObsFlags obs;
+  obs.trace_path = PathOrDefault(flags, "trace", "trace.json");
+  obs.metrics_path = PathOrDefault(flags, "metrics", "metrics.json");
+  if (flags.GetBool("obs", false)) {
+    if (obs.trace_path.empty()) {
+      obs.trace_path = "trace.json";
+    }
+    if (obs.metrics_path.empty()) {
+      obs.metrics_path = "metrics.json";
+    }
+  }
+  return obs;
+}
+
 }  // namespace bsched

@@ -30,6 +30,21 @@ class Flags {
   std::vector<std::string> errors_;
 };
 
+// Observability artifact paths parsed from the shared --trace / --metrics /
+// --obs flags. Every figure binary that accepts these can emit a Chrome
+// trace and a metrics snapshot next to its normal output.
+struct ObsFlags {
+  std::string trace_path;    // empty = tracing off
+  std::string metrics_path;  // empty = metrics off
+
+  bool enabled() const { return !trace_path.empty() || !metrics_path.empty(); }
+};
+
+// --trace[=path] and --metrics[=path] enable the respective sink (default
+// paths "trace.json" / "metrics.json" when no value is given); bare --obs
+// enables both with default paths.
+ObsFlags ParseObsFlags(const Flags& flags);
+
 }  // namespace bsched
 
 #endif  // SRC_COMMON_FLAGS_H_

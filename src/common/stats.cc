@@ -28,11 +28,32 @@ double RunningStats::variance() const {
 
 double RunningStats::stddev() const { return std::sqrt(variance()); }
 
+void RunningStats::Merge(const RunningStats& other) {
+  if (other.n_ == 0) {
+    return;
+  }
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  const size_t n = n_ + other.n_;
+  const double delta = other.mean_ - mean_;
+  mean_ += delta * static_cast<double>(other.n_) / static_cast<double>(n);
+  m2_ += other.m2_ + delta * delta * static_cast<double>(n_) *
+                         static_cast<double>(other.n_) / static_cast<double>(n);
+  n_ = n;
+}
+
 double Percentile(std::vector<double> values, double p) {
+  return PercentileInPlace(values, p);
+}
+
+double PercentileInPlace(std::span<double> values, double p) {
   if (values.empty()) {
     return 0.0;
   }
-  std::sort(values.begin(), values.end());
   if (values.size() == 1) {
     return values[0];
   }
@@ -40,7 +61,15 @@ double Percentile(std::vector<double> values, double p) {
   const size_t lo = static_cast<size_t>(rank);
   const size_t hi = std::min(lo + 1, values.size() - 1);
   const double frac = rank - static_cast<double>(lo);
-  return values[lo] * (1.0 - frac) + values[hi] * frac;
+  std::nth_element(values.begin(), values.begin() + static_cast<ptrdiff_t>(lo), values.end());
+  const double lo_value = values[lo];
+  if (hi == lo || frac == 0.0) {
+    return lo_value;
+  }
+  // The hi-neighbor is the minimum of the partition right of lo.
+  const double hi_value =
+      *std::min_element(values.begin() + static_cast<ptrdiff_t>(lo) + 1, values.end());
+  return lo_value * (1.0 - frac) + hi_value * frac;
 }
 
 double Mean(const std::vector<double>& values) {

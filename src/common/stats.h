@@ -4,6 +4,7 @@
 #define SRC_COMMON_STATS_H_
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
 namespace bsched {
@@ -12,6 +13,11 @@ namespace bsched {
 class RunningStats {
  public:
   void Add(double x);
+
+  // Folds `other` into this accumulator (Chan et al. parallel combination),
+  // as if every sample fed to `other` had been fed here. Lets SweepRunner
+  // workers keep private accumulators and combine them after the join.
+  void Merge(const RunningStats& other);
 
   size_t count() const { return n_; }
   double mean() const { return n_ > 0 ? mean_ : 0.0; }
@@ -32,6 +38,12 @@ class RunningStats {
 // Percentile of a sample set with linear interpolation; p in [0, 100].
 // Returns 0 for an empty vector.
 double Percentile(std::vector<double> values, double p);
+
+// Same, but selects in place over the caller's storage (partial reorder via
+// std::nth_element, O(n) instead of a full sort) — no copy, no allocation.
+// Percentile() above forwards here with a by-value copy for callers that
+// need their vector untouched.
+double PercentileInPlace(std::span<double> values, double p);
 
 double Mean(const std::vector<double>& values);
 double StdDev(const std::vector<double>& values);

@@ -1,34 +1,141 @@
 #include "src/common/trace.h"
 
+#include <cstdio>
+
 #include "src/common/check.h"
 
 namespace bsched {
 namespace {
 
-// Minimal JSON string escaping (quotes and backslashes; our names are ASCII).
+// Full JSON string escaping: quotes, backslashes, and control characters
+// (tensor names like grad["fc1"] or layer\tname must survive round-trip).
 std::string Escape(const std::string& s) {
   std::string out;
   out.reserve(s.size());
   for (char c : s) {
-    if (c == '"' || c == '\\') {
-      out.push_back('\\');
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", static_cast<unsigned>(c) & 0xFF);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
     }
-    out.push_back(c);
   }
   return out;
 }
 
+// Fixed-precision microsecond timestamps: default double formatting drops
+// sub-microsecond digits past 6 significant figures, which breaks span
+// ordering for long runs.
+std::string Micros(SimTime t) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.3f", t.ToMicros());
+  return buf;
+}
+
+void WriteArgs(std::ostream& os, const std::vector<TraceArg>& args) {
+  os << R"(,"args":{)";
+  bool first = true;
+  for (const TraceArg& arg : args) {
+    if (!first) {
+      os << ",";
+    }
+    first = false;
+    os << '"' << Escape(arg.key) << "\":";
+    switch (arg.kind) {
+      case TraceArg::Kind::kInt:
+        os << arg.int_value;
+        break;
+      case TraceArg::Kind::kDouble:
+        os << arg.double_value;
+        break;
+      case TraceArg::Kind::kString:
+        os << '"' << Escape(arg.string_value) << '"';
+        break;
+    }
+  }
+  os << "}";
+}
+
 }  // namespace
+
+TraceArg TraceArg::Int(std::string key, int64_t v) {
+  TraceArg arg;
+  arg.key = std::move(key);
+  arg.kind = Kind::kInt;
+  arg.int_value = v;
+  return arg;
+}
+
+TraceArg TraceArg::Double(std::string key, double v) {
+  TraceArg arg;
+  arg.key = std::move(key);
+  arg.kind = Kind::kDouble;
+  arg.double_value = v;
+  return arg;
+}
+
+TraceArg TraceArg::Str(std::string key, std::string v) {
+  TraceArg arg;
+  arg.key = std::move(key);
+  arg.kind = Kind::kString;
+  arg.string_value = std::move(v);
+  return arg;
+}
 
 void TraceRecorder::AddSpan(const std::string& track, const std::string& name, SimTime start,
                             SimTime end) {
+  AddSpan(track, name, start, end, {});
+}
+
+void TraceRecorder::AddSpan(const std::string& track, const std::string& name, SimTime start,
+                            SimTime end, std::vector<TraceArg> args) {
   BSCHED_CHECK(end >= start);
-  events_.push_back(Event{track, name, start, end, false});
+  Event ev;
+  ev.track = track;
+  ev.name = name;
+  ev.start = start;
+  ev.end = end;
+  ev.kind = EventKind::kSpan;
+  ev.args = std::move(args);
+  events_.push_back(std::move(ev));
   TrackId(track);
 }
 
 void TraceRecorder::AddInstant(const std::string& track, const std::string& name, SimTime at) {
-  events_.push_back(Event{track, name, at, at, true});
+  Event ev;
+  ev.track = track;
+  ev.name = name;
+  ev.start = at;
+  ev.end = at;
+  ev.kind = EventKind::kInstant;
+  events_.push_back(std::move(ev));
+  TrackId(track);
+}
+
+void TraceRecorder::AddFlow(const std::string& track, const std::string& name, SimTime at,
+                            uint64_t flow_id, FlowPhase phase) {
+  BSCHED_CHECK(flow_id != 0);
+  Event ev;
+  ev.track = track;
+  ev.name = name;
+  ev.start = at;
+  ev.end = at;
+  ev.kind = EventKind::kFlow;
+  ev.flow_id = flow_id;
+  ev.flow_phase = phase;
+  events_.push_back(std::move(ev));
+  ++num_flow_events_;
   TrackId(track);
 }
 
@@ -40,13 +147,19 @@ int TraceRecorder::TrackId(const std::string& track) {
 void TraceRecorder::WriteChromeTrace(std::ostream& os) const {
   os << "[\n";
   bool first = true;
+  // Thread-name metadata in ascending tid order (== first-use order), so the
+  // file layout is deterministic and matches Perfetto's track numbering.
+  std::vector<const std::string*> by_tid(track_ids_.size());
   for (const auto& [track, tid] : track_ids_) {
+    by_tid[static_cast<size_t>(tid)] = &track;
+  }
+  for (size_t tid = 0; tid < by_tid.size(); ++tid) {
     if (!first) {
       os << ",\n";
     }
     first = false;
     os << R"({"ph":"M","pid":1,"tid":)" << tid
-       << R"(,"name":"thread_name","args":{"name":")" << Escape(track) << "\"}}";
+       << R"(,"name":"thread_name","args":{"name":")" << Escape(*by_tid[tid]) << "\"}}";
   }
   for (const Event& ev : events_) {
     const int tid = track_ids_.at(ev.track);
@@ -54,13 +167,34 @@ void TraceRecorder::WriteChromeTrace(std::ostream& os) const {
       os << ",\n";
     }
     first = false;
-    if (ev.instant) {
-      os << R"({"ph":"i","pid":1,"tid":)" << tid << R"(,"ts":)" << ev.start.ToMicros()
-         << R"(,"s":"t","name":")" << Escape(ev.name) << "\"}";
-    } else {
-      os << R"({"ph":"X","pid":1,"tid":)" << tid << R"(,"ts":)" << ev.start.ToMicros()
-         << R"(,"dur":)" << (ev.end - ev.start).ToMicros() << R"(,"name":")" << Escape(ev.name)
-         << "\"}";
+    switch (ev.kind) {
+      case EventKind::kInstant:
+        os << R"({"ph":"i","pid":1,"tid":)" << tid << R"(,"ts":)" << Micros(ev.start)
+           << R"(,"s":"t","name":")" << Escape(ev.name) << "\"}";
+        break;
+      case EventKind::kSpan:
+        os << R"({"ph":"X","pid":1,"tid":)" << tid << R"(,"ts":)" << Micros(ev.start)
+           << R"(,"dur":)" << Micros(ev.end - ev.start) << R"(,"name":")" << Escape(ev.name)
+           << '"';
+        if (!ev.args.empty()) {
+          WriteArgs(os, ev.args);
+        }
+        os << "}";
+        break;
+      case EventKind::kFlow: {
+        const char* ph = ev.flow_phase == FlowPhase::kStart  ? "s"
+                         : ev.flow_phase == FlowPhase::kStep ? "t"
+                                                             : "f";
+        os << R"({"ph":")" << ph << R"(","cat":"flow","id":)" << ev.flow_id
+           << R"(,"pid":1,"tid":)" << tid << R"(,"ts":)" << Micros(ev.start);
+        if (ev.flow_phase == FlowPhase::kEnd) {
+          // Bind to the enclosing slice so the arrow lands on the span that
+          // contains this point rather than the next slice to start.
+          os << R"(,"bp":"e")";
+        }
+        os << R"(,"name":")" << Escape(ev.name) << "\"}";
+        break;
+      }
     }
   }
   os << "\n]\n";
@@ -69,7 +203,7 @@ void TraceRecorder::WriteChromeTrace(std::ostream& os) const {
 SimTime TraceRecorder::TrackBusyTime(const std::string& track) const {
   SimTime total;
   for (const Event& ev : events_) {
-    if (ev.track == track && !ev.instant) {
+    if (ev.track == track && ev.kind == EventKind::kSpan) {
       total += ev.end - ev.start;
     }
   }

@@ -2,9 +2,19 @@
 // into a TraceRecorder, which exports Chrome trace-event JSON (load it in
 // chrome://tracing or Perfetto to see compute/communication overlap — the
 // quantity ByteScheduler optimizes).
+//
+// Beyond plain spans and instants, the recorder supports:
+//  - typed span metadata (TraceArg), rendered as the event's "args" object;
+//  - flow events (Chrome phases "s"/"t"/"f"): points sharing a flow id are
+//    drawn as one connected arc across tracks, which is how a partition's
+//    life (queue admit -> link transit -> shard update -> pull -> finish)
+//    stays followable in Perfetto.
+// Track ids are assigned deterministically in first-use order, and the
+// thread-name metadata is emitted in that same order.
 #ifndef SRC_COMMON_TRACE_H_
 #define SRC_COMMON_TRACE_H_
 
+#include <cstdint>
 #include <map>
 #include <ostream>
 #include <string>
@@ -14,37 +24,77 @@
 
 namespace bsched {
 
+// One typed key/value entry of a span's "args" metadata.
+struct TraceArg {
+  enum class Kind { kInt, kDouble, kString };
+
+  std::string key;
+  Kind kind = Kind::kInt;
+  int64_t int_value = 0;
+  double double_value = 0.0;
+  std::string string_value;
+
+  static TraceArg Int(std::string key, int64_t v);
+  static TraceArg Double(std::string key, double v);
+  static TraceArg Str(std::string key, std::string v);
+};
+
+// Position of a flow point within its arc.
+enum class FlowPhase {
+  kStart,  // "s": opens the arc
+  kStep,   // "t": intermediate hop
+  kEnd,    // "f": closes the arc
+};
+
 class TraceRecorder {
  public:
   // Records a complete span [start, end] on a named track (one trace "tid"
   // per track). Spans may be added in any order.
   void AddSpan(const std::string& track, const std::string& name, SimTime start, SimTime end);
+  void AddSpan(const std::string& track, const std::string& name, SimTime start, SimTime end,
+               std::vector<TraceArg> args);
 
   // Records a zero-duration instant marker.
   void AddInstant(const std::string& track, const std::string& name, SimTime at);
 
+  // Records one point of a flow arc. All points of one arc share `flow_id`
+  // (which must be non-zero); Perfetto draws an arrow chain start -> steps ->
+  // end across whatever tracks the points landed on.
+  void AddFlow(const std::string& track, const std::string& name, SimTime at, uint64_t flow_id,
+               FlowPhase phase);
+
   size_t num_events() const { return events_.size(); }
+  size_t num_flow_events() const { return num_flow_events_; }
   bool empty() const { return events_.empty(); }
 
   // Chrome trace-event JSON (array form); timestamps in microseconds.
   void WriteChromeTrace(std::ostream& os) const;
 
-  // Total span time per track (utilization summaries in tests/tools).
+  // Total span time per track (utilization summaries in tests/tools). Flow
+  // points and instants contribute nothing.
   SimTime TrackBusyTime(const std::string& track) const;
+  // Track names in lexicographic order.
   std::vector<std::string> Tracks() const;
 
  private:
+  enum class EventKind { kSpan, kInstant, kFlow };
+
   struct Event {
     std::string track;
     std::string name;
     SimTime start;
-    SimTime end;  // == start for instants
-    bool instant = false;
+    SimTime end;  // == start for instants and flow points
+    EventKind kind = EventKind::kSpan;
+    std::vector<TraceArg> args;
+    uint64_t flow_id = 0;
+    FlowPhase flow_phase = FlowPhase::kStart;
   };
 
   int TrackId(const std::string& track);
 
   std::vector<Event> events_;
+  size_t num_flow_events_ = 0;
+  // Track name -> tid, assigned in first-use order.
   std::map<std::string, int> track_ids_;
 };
 

@@ -64,6 +64,9 @@ struct SubCommTask {
   int partition = 0;
   Bytes bytes = 0;
   CommOpType type = CommOpType::kPush;
+  // Trace flow-arc id stitching this partition's hops across tracks
+  // (assigned by the scheduler at admit when tracing; 0 = untracked).
+  uint64_t flow = 0;
 };
 
 // Queue ordering for the Core's priority queue. Lower key = more urgent.

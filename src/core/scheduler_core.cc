@@ -5,16 +5,18 @@
 
 #include "src/common/check.h"
 #include "src/fault/fault_injector.h"
+#include "src/obs/obs.h"
 
 namespace bsched {
 
 SchedulerCore::SchedulerCore(SchedulerConfig config, CommBackend* backend, int worker_id,
-                             Simulator* sim, FaultInjector* faults)
+                             Simulator* sim, FaultInjector* faults, ObsContext* obs)
     : config_(std::move(config)),
       backend_(backend),
       worker_id_(worker_id),
       sim_(sim),
       faults_(faults),
+      obs_(obs),
       credit_(config_.credit_bytes) {
   BSCHED_CHECK(backend_ != nullptr);
   BSCHED_CHECK(config_.credit_bytes > 0);
@@ -22,6 +24,16 @@ SchedulerCore::SchedulerCore(SchedulerConfig config, CommBackend* backend, int w
     BSCHED_CHECK(sim_ != nullptr && "retry recovery needs a Simulator for timeout timers");
     BSCHED_CHECK(config_.retry.backoff >= 1.0);
     BSCHED_CHECK(config_.retry.max_retries >= 0);
+  }
+  if (obs_ != nullptr) {
+    track_ = "sched/w" + std::to_string(worker_id_);
+    if (obs_->metrics() != nullptr) {
+      const std::string prefix = "sched.w" + std::to_string(worker_id_);
+      m_queue_depth_ = obs_->metrics()->histogram(prefix + ".queue_depth");
+      m_credit_in_use_ = obs_->metrics()->histogram(prefix + ".credit_in_use");
+      m_partition_bytes_ = obs_->metrics()->histogram(prefix + ".partition_bytes");
+      m_preemptions_ = obs_->metrics()->counter(prefix + ".preemptions");
+    }
   }
 }
 
@@ -105,7 +117,11 @@ void SchedulerCore::EnqueueReady(TaskState& state, CommTaskId id, int partition)
   subtask.partition = partition;
   subtask.bytes = state.partition_bytes[partition];
   subtask.type = state.desc.type;
-  queue_.emplace(KeyFor(subtask), QueuedSubTask{subtask, 0});
+  QueuedSubTask entry{subtask, 0};
+  if (sim_ != nullptr) {
+    entry.ready_at = sim_->Now();
+  }
+  queue_.emplace(KeyFor(subtask), std::move(entry));
 }
 
 void SchedulerCore::TrySchedule() {
@@ -131,14 +147,76 @@ void SchedulerCore::TrySchedule() {
     }
     const SubTaskKey key = queue_.begin()->first;
     QueuedSubTask entry = std::move(queue_.begin()->second);
+    const size_t depth_before = queue_.size();
     queue_.erase(queue_.begin());
     const Bytes charged = charges_credit ? std::min(entry.subtask.bytes, credit_) : 0;
     credit_ -= charged;
     BSCHED_DCHECK(credit_ >= 0);
     ++subtasks_started_;
+    if (obs_ != nullptr) {
+      RecordAdmit(entry, key, charged, depth_before);
+    }
     StartAttempt(entry.subtask, key, charged, entry.attempts);
   }
   scheduling_ = false;
+}
+
+void SchedulerCore::RecordAdmit(QueuedSubTask& entry, const SubTaskKey& key, Bytes charged,
+                                size_t queue_depth_before) {
+  SubCommTask& st = entry.subtask;
+  if (m_queue_depth_ != nullptr) {
+    m_queue_depth_->Observe(static_cast<int64_t>(queue_depth_before));
+    m_credit_in_use_->Observe(config_.credit_bytes == SchedulerConfig::kUnlimited
+                                  ? 0
+                                  : config_.credit_bytes - credit_);
+    m_partition_bytes_->Observe(st.bytes);
+    // A preemption in the paper's sense: this admission outranks the one
+    // before it, i.e. a higher-priority partition jumped the FIFO order a
+    // vanilla scheduler would have used.
+    if (has_last_admitted_ && key < last_admitted_key_) {
+      m_preemptions_->Inc();
+    }
+  }
+  last_admitted_key_ = key;
+  has_last_admitted_ = true;
+
+  // Trace spans/flows need a clock; metrics above work without one.
+  if (!obs_->tracing() || sim_ == nullptr) {
+    return;
+  }
+  // Assign (or continue) the partition's flow arc. Pushes and all-reduce
+  // operations open the arc; a pull continues the arc its push opened, or
+  // opens its own for pulls with no tracked push (e.g. step-start reads).
+  FlowPhase phase = FlowPhase::kStep;
+  if (st.flow == 0) {
+    if (st.type == CommOpType::kPull) {
+      st.flow = obs_->LookupPartitionFlow(st.worker, st.tensor_id, st.partition);
+      if (st.flow == 0) {
+        st.flow = obs_->BeginPartitionFlow(st.worker, st.tensor_id, st.partition);
+        phase = FlowPhase::kStart;
+      }
+    } else {
+      st.flow = obs_->BeginPartitionFlow(st.worker, st.tensor_id, st.partition);
+      phase = FlowPhase::kStart;
+    }
+  }
+
+  auto task_it = tasks_.find(st.task);
+  const std::string& tensor =
+      task_it != tasks_.end() && !task_it->second.desc.name.empty()
+          ? task_it->second.desc.name
+          : "L" + std::to_string(st.layer);
+  const std::string base =
+      tensor + ".p" + std::to_string(st.partition) + "." + ToString(st.type);
+  const SimTime now = sim_->Now();
+  TraceRecorder* trace = obs_->trace();
+  if (now > entry.ready_at) {
+    trace->AddSpan(track_, base + ".wait", entry.ready_at, now,
+                   {TraceArg::Int("layer", st.layer), TraceArg::Int("partition", st.partition),
+                    TraceArg::Int("bytes", st.bytes), TraceArg::Int("attempt", entry.attempts),
+                    TraceArg::Int("charged", charged)});
+  }
+  trace->AddFlow(track_, base + ".admit", now, st.flow, phase);
 }
 
 SimTime SchedulerCore::AttemptTimeout(int attempts) const {
@@ -226,13 +304,20 @@ void SchedulerCore::OnAttemptTimeout(CommTaskId task, int partition, uint64_t ge
   }
   // Requeue at the ORIGINAL priority key: the retry competes exactly where
   // the partition always belonged, not behind newer arrivals.
-  queue_.emplace(fl.key, QueuedSubTask{fl.subtask, fl.attempts + 1});
+  queue_.emplace(fl.key, QueuedSubTask{fl.subtask, fl.attempts + 1, sim_->Now()});
   TrySchedule();
 }
 
 void SchedulerCore::OnSubTaskFinish(SubCommTask subtask, Bytes charged) {
   credit_ += charged;
   BSCHED_DCHECK(credit_ <= config_.credit_bytes);
+  if (obs_ != nullptr && obs_->tracing() && sim_ != nullptr && subtask.flow != 0 &&
+      subtask.type != CommOpType::kPush) {
+    // The pull (or ring op) completing ends the partition's arc; a push's
+    // arc stays open for its pull to continue.
+    obs_->trace()->AddFlow(track_, "finish", sim_->Now(), subtask.flow, FlowPhase::kEnd);
+    obs_->EndPartitionFlow(subtask.worker, subtask.tensor_id, subtask.partition);
+  }
   auto it = tasks_.find(subtask.task);
   BSCHED_CHECK(it != tasks_.end());
   TaskState& state = it->second;
@@ -256,6 +341,22 @@ void SchedulerCore::OnSubTaskFinish(SubCommTask subtask, Bytes charged) {
     on_finish();
   }
   TrySchedule();
+}
+
+void SchedulerCore::ExportMetrics() const {
+  if (obs_ == nullptr || obs_->metrics() == nullptr) {
+    return;
+  }
+  MetricsRegistry* m = obs_->metrics();
+  const std::string prefix = "sched.w" + std::to_string(worker_id_);
+  m->counter(prefix + ".subtasks_started")->Inc(subtasks_started_);
+  m->counter(prefix + ".tasks_finished")->Inc(tasks_finished_);
+  m->counter(prefix + ".timeouts")->Inc(timeouts_fired_);
+  m->counter(prefix + ".retries")->Inc(retries_);
+  m->counter(prefix + ".late_completions")->Inc(late_completions_);
+  m->counter(prefix + ".abandoned")->Inc(subtasks_abandoned_);
+  m->gauge(prefix + ".credit_final")->Set(credit_);
+  m->gauge(prefix + ".queue_len_final")->Set(static_cast<int64_t>(queue_.size()));
 }
 
 std::string SchedulerCore::DebugString() const {

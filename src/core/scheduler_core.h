@@ -30,13 +30,19 @@
 namespace bsched {
 
 class FaultInjector;
+class ObsContext;
+class Counter;
+class Histogram;
 
 class SchedulerCore {
  public:
   // `sim` is required only when config.retry is enabled; `faults` (optional)
   // receives recovery events for global fault statistics and trace output.
+  // `obs` (optional) enables admit-time metrics and, when a Simulator is also
+  // present, queue-wait spans and partition flow arcs on track sched/w<id>.
   SchedulerCore(SchedulerConfig config, CommBackend* backend, int worker_id = 0,
-                Simulator* sim = nullptr, FaultInjector* faults = nullptr);
+                Simulator* sim = nullptr, FaultInjector* faults = nullptr,
+                ObsContext* obs = nullptr);
   SchedulerCore(const SchedulerCore&) = delete;
   SchedulerCore& operator=(const SchedulerCore&) = delete;
 
@@ -74,6 +80,11 @@ class SchedulerCore {
   uint64_t subtasks_abandoned() const { return subtasks_abandoned_; }
   size_t subtasks_in_flight() const { return inflight_.size(); }
 
+  // Exports end-of-run totals (sched.w<id>.subtasks_started, retries,
+  // timeouts, ...) into the obs metrics registry. Call once after the run;
+  // no-op without an obs context.
+  void ExportMetrics() const;
+
  private:
   struct TaskState {
     CommTaskDesc desc;
@@ -87,6 +98,9 @@ class SchedulerCore {
   struct QueuedSubTask {
     SubCommTask subtask;
     int attempts = 0;
+    // When this entry became schedulable (valid only when tracing with a
+    // Simulator); admit time minus this is the queue-wait span.
+    SimTime ready_at;
   };
 
   // One admitted subtask being watched by the recovery layer.
@@ -102,6 +116,11 @@ class SchedulerCore {
   bool recovery_enabled() const { return config_.retry.enabled() && sim_ != nullptr; }
   SimTime AttemptTimeout(int attempts) const;
 
+  // Records admit-time metrics/trace/flow for one admitted entry; mutates
+  // entry.subtask.flow. `queue_depth_before` is the queue size at pop time.
+  void RecordAdmit(QueuedSubTask& entry, const SubTaskKey& key, Bytes charged,
+                   size_t queue_depth_before);
+
   SubTaskKey KeyFor(const SubCommTask& subtask);
   void EnqueueReady(TaskState& state, CommTaskId id, int partition);
   void TrySchedule();
@@ -116,6 +135,16 @@ class SchedulerCore {
   int worker_id_;
   Simulator* sim_;
   FaultInjector* faults_;
+  ObsContext* obs_;
+  std::string track_;  // trace track name ("sched/w<id>")
+  // Cached metric handles (null when metrics are off).
+  Histogram* m_queue_depth_ = nullptr;
+  Histogram* m_credit_in_use_ = nullptr;
+  Histogram* m_partition_bytes_ = nullptr;
+  Counter* m_preemptions_ = nullptr;
+  // Priority of the previous admission, for the preemption counter.
+  SubTaskKey last_admitted_key_;
+  bool has_last_admitted_ = false;
 
   CommTaskId next_task_id_ = 0;
   uint64_t next_arrival_seq_ = 0;

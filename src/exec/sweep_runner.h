@@ -51,6 +51,11 @@ class SweepRunner {
     }
   }
 
+  // Pool execution stats (per-worker task counts, idle time, task
+  // durations). Empty when everything ran inline (jobs == 1 or no parallel
+  // RunAll happened yet).
+  PoolStats Stats() const { return pool_ != nullptr ? pool_->Stats() : PoolStats{}; }
+
   // Process-wide default worker count used when a SweepRunner (or one of the
   // sweep entry points taking a `jobs` parameter) is given jobs == 0.
   // Installed by the --jobs flag of the bench/example binaries.

@@ -5,13 +5,32 @@
 #define SRC_EXEC_THREAD_POOL_H_
 
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
 #include <thread>
 #include <vector>
 
+#include "src/common/stats.h"
+
 namespace bsched {
+
+// Per-worker execution stats (wall-clock, host-side — unrelated to SimTime).
+struct PoolWorkerStats {
+  uint64_t tasks = 0;
+  double idle_sec = 0.0;        // time spent waiting for work
+  RunningStats task_sec;        // per-task execution time distribution
+};
+
+struct PoolStats {
+  std::vector<PoolWorkerStats> workers;
+
+  uint64_t total_tasks() const;
+  double total_idle_sec() const;
+  // All workers' task-time distributions folded into one accumulator.
+  RunningStats merged_task_sec() const;
+};
 
 class ThreadPool {
  public:
@@ -28,13 +47,19 @@ class ThreadPool {
 
   int size() const { return static_cast<int>(workers_.size()); }
 
- private:
-  void WorkerLoop();
+  // Snapshot of per-worker task counts, idle time, and task durations.
+  // Callable at any time; in-progress tasks are not yet counted.
+  PoolStats Stats() const;
 
-  std::mutex mu_;
+ private:
+  void WorkerLoop(int index);
+
+  mutable std::mutex mu_;
   std::condition_variable cv_;
   std::deque<std::function<void()>> tasks_;
   bool stopping_ = false;
+  // Written by each worker under mu_ (wait exit / task completion).
+  std::vector<PoolWorkerStats> stats_;
   std::vector<std::thread> workers_;
 };
 

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "src/obs/obs.h"
+
 namespace bsched {
 
 Link::Link(Simulator* sim, std::string name, Bandwidth line_rate, const TransportModel& transport)
@@ -16,12 +18,49 @@ void Link::SetFaultInjector(FaultInjector* faults) {
   site_hash_ = FaultPlan::HashSite(resource_.name());
 }
 
+void Link::SetObs(ObsContext* obs) {
+  obs_ = obs;
+  if (obs == nullptr || obs->metrics() == nullptr) {
+    obs_bytes_ = nullptr;
+    obs_msgs_ = nullptr;
+    obs_queue_ns_ = nullptr;
+    obs_inflight_ = nullptr;
+    return;
+  }
+  MetricsRegistry* m = obs->metrics();
+  const std::string prefix = "net." + resource_.name();
+  obs_bytes_ = m->counter(prefix + ".bytes");
+  obs_msgs_ = m->counter(prefix + ".msgs");
+  obs_queue_ns_ = m->histogram(prefix + ".queue_ns");
+  obs_inflight_ = m->gauge(prefix + ".inflight_bytes");
+}
+
+void Link::ExportMetrics() {
+  if (obs_ == nullptr || obs_->metrics() == nullptr) {
+    return;
+  }
+  obs_->metrics()->gauge("net." + resource_.name() + ".busy_ns")->Set(busy_time().nanos());
+}
+
 void Link::SendWithFlush(Bytes size, std::function<void()> on_flushed,
                          std::function<void()> on_delivered) {
   bytes_sent_ += size;
+  if (obs_bytes_ != nullptr) {
+    obs_bytes_->Inc(static_cast<uint64_t>(size));
+    obs_msgs_->Inc();
+    // Sender-side queueing delay this message will experience behind the
+    // work already on the wire. Passive: reads drain state, schedules nothing.
+    obs_queue_ns_->Observe((resource_.DrainTime() - sim_->Now()).nanos());
+    obs_inflight_->Add(size);
+  }
   const SimTime latency = transport_.latency;
-  resource_.Submit(MessageTime(size), [this, latency, on_flushed = std::move(on_flushed),
+  resource_.Submit(MessageTime(size), [this, size, latency, on_flushed = std::move(on_flushed),
                                        on_delivered = std::move(on_delivered)]() mutable {
+    // Flush == left the NIC queue; decrement here so fault drops (which
+    // never deliver) still settle the gauge.
+    if (obs_inflight_ != nullptr) {
+      obs_inflight_->Add(-size);
+    }
     if (on_flushed) {
       on_flushed();
     }

@@ -17,6 +17,11 @@
 
 namespace bsched {
 
+class ObsContext;
+class Counter;
+class Gauge;
+class Histogram;
+
 class Link {
  public:
   Link(Simulator* sim, std::string name, Bandwidth line_rate, const TransportModel& transport);
@@ -53,6 +58,14 @@ class Link {
   void SetFaultInjector(FaultInjector* faults);
   FaultInjector* fault_injector() const { return faults_; }
 
+  // Observability: registers and caches this link's metric handles
+  // (net.<name>.bytes/.msgs/.queue_ns/.inflight_bytes). Null obs (or obs
+  // without a metrics registry) keeps the hot path to one pointer check.
+  void SetObs(ObsContext* obs);
+  // Final gauges derived from accumulated state (net.<name>.busy_ns);
+  // call once after the run.
+  void ExportMetrics();
+
  private:
   Simulator* sim_;
   Bandwidth line_rate_;
@@ -61,6 +74,12 @@ class Link {
   Bytes bytes_sent_ = 0;
   FaultInjector* faults_ = nullptr;
   uint64_t site_hash_ = 0;
+  ObsContext* obs_ = nullptr;
+  // Cached handles; obs_bytes_ doubles as the "instrumented?" flag.
+  Counter* obs_bytes_ = nullptr;
+  Counter* obs_msgs_ = nullptr;
+  Histogram* obs_queue_ns_ = nullptr;
+  Gauge* obs_inflight_ = nullptr;
 };
 
 // The two directions of one NIC.

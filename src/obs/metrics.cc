@@ -1,0 +1,156 @@
+#include "src/obs/metrics.h"
+
+#include <limits>
+
+#include "src/obs/json_lite.h"
+
+namespace bsched {
+
+int64_t Histogram::BucketUpperBound(int index) {
+  if (index <= 0) {
+    return 0;
+  }
+  if (index >= kNumBuckets - 1) {
+    return std::numeric_limits<int64_t>::max();
+  }
+  return (int64_t{1} << index) - 1;
+}
+
+int64_t Histogram::BucketLowerBound(int index) {
+  if (index <= 0) {
+    return 0;
+  }
+  return int64_t{1} << (index - 1);
+}
+
+uint64_t Histogram::count() const {
+  uint64_t total = 0;
+  for (const auto& b : buckets_) {
+    total += b.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snap;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    const uint64_t c = buckets_[i].load(std::memory_order_relaxed);
+    if (c > 0) {
+      snap.buckets.emplace_back(i, c);
+      snap.count += c;
+    }
+  }
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+double HistogramSnapshot::Quantile(double q) const {
+  if (count == 0) {
+    return 0.0;
+  }
+  const double target = q / 100.0 * static_cast<double>(count);
+  uint64_t cum = 0;
+  for (const auto& [index, c] : buckets) {
+    cum += c;
+    if (static_cast<double>(cum) >= target) {
+      // Interpolate within the bucket's value range by the target's position
+      // among the bucket's samples.
+      const double lo = static_cast<double>(Histogram::BucketLowerBound(index));
+      const double hi = static_cast<double>(Histogram::BucketUpperBound(index));
+      const double into = static_cast<double>(c) - (static_cast<double>(cum) - target);
+      const double frac = into / static_cast<double>(c);
+      return lo + (hi - lo) * frac;
+    }
+  }
+  return static_cast<double>(Histogram::BucketUpperBound(buckets.back().first));
+}
+
+Counter* MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Counter>();
+  }
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Gauge>();
+  }
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Histogram>();
+  }
+  return slot.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snap;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, c] : counters_) {
+    snap.counters.emplace(name, c->value());
+  }
+  for (const auto& [name, g] : gauges_) {
+    snap.gauges.emplace(name, g->value());
+  }
+  for (const auto& [name, h] : histograms_) {
+    snap.histograms.emplace(name, h->Snapshot());
+  }
+  return snap;
+}
+
+void MetricsSnapshot::WriteJson(std::ostream& os) const {
+  os << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, v] : counters) {
+    os << (first ? "\n" : ",\n") << "    \"" << obs::JsonEscape(name) << "\": " << v;
+    first = false;
+  }
+  os << (first ? "},\n" : "\n  },\n");
+  os << "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, v] : gauges) {
+    os << (first ? "\n" : ",\n") << "    \"" << obs::JsonEscape(name) << "\": " << v;
+    first = false;
+  }
+  os << (first ? "},\n" : "\n  },\n");
+  os << "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms) {
+    os << (first ? "\n" : ",\n") << "    \"" << obs::JsonEscape(name) << "\": {\"count\": "
+       << h.count << ", \"sum\": " << h.sum << ", \"buckets\": [";
+    bool first_bucket = true;
+    for (const auto& [index, c] : h.buckets) {
+      os << (first_bucket ? "" : ", ") << "[" << index << ", " << c << "]";
+      first_bucket = false;
+    }
+    os << "]}";
+    first = false;
+  }
+  os << (first ? "}\n" : "\n  }\n");
+  os << "}\n";
+}
+
+void MetricsSnapshot::WriteCsv(std::ostream& os) const {
+  os << "kind,name,value,count,sum,p50,p99\n";
+  for (const auto& [name, v] : counters) {
+    os << "counter," << name << "," << v << ",,,,\n";
+  }
+  for (const auto& [name, v] : gauges) {
+    os << "gauge," << name << "," << v << ",,,,\n";
+  }
+  for (const auto& [name, h] : histograms) {
+    os << "histogram," << name << ",," << h.count << "," << h.sum << "," << h.Quantile(50)
+       << "," << h.Quantile(99) << "\n";
+  }
+}
+
+}  // namespace bsched

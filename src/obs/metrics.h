@@ -1,0 +1,132 @@
+// Metrics registry for the observability layer: counters, gauges and
+// histograms with fixed log2 buckets. Designed for zero overhead when
+// disabled (subsystems hold nullptr handles and skip every call site) and a
+// lock-free fast path when enabled: handles are plain atomics updated with
+// relaxed operations, so concurrent simulations on the src/exec/ thread pool
+// can share one registry without contention or TSan reports. Registration
+// (get-or-create by name) takes a mutex; subsystems cache the returned
+// handles at setup time, keeping the hot path to a null check + atomic add.
+#ifndef SRC_OBS_METRICS_H_
+#define SRC_OBS_METRICS_H_
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace bsched {
+
+// Monotonically increasing count (events, bytes, retries).
+class Counter {
+ public:
+  void Inc(uint64_t delta = 1) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+// Instantaneous level (bytes in flight, final credit, busy nanoseconds).
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+// Exported state of one histogram: total count/sum plus the non-empty
+// buckets as (bucket index, count) pairs.
+struct HistogramSnapshot {
+  uint64_t count = 0;
+  int64_t sum = 0;
+  std::vector<std::pair<int, uint64_t>> buckets;
+
+  // Approximate quantile (q in [0, 100]) by linear interpolation inside the
+  // target bucket's [lower, upper] value range. 0 for an empty histogram.
+  double Quantile(double q) const;
+};
+
+// Fixed log2-bucket histogram over non-negative integer samples (bytes,
+// nanoseconds, queue depths). Bucket 0 holds v <= 0; bucket k (k >= 1) holds
+// v in [2^(k-1), 2^k - 1], i.e. the bit width of v. Observations are relaxed
+// atomic increments — no locks, no allocation.
+class Histogram {
+ public:
+  static constexpr int kNumBuckets = 64;
+
+  void Observe(int64_t v) {
+    buckets_[BucketIndex(v)].fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+  }
+
+  static int BucketIndex(int64_t v) {
+    if (v <= 0) {
+      return 0;
+    }
+    const int width = std::bit_width(static_cast<uint64_t>(v));
+    return width < kNumBuckets ? width : kNumBuckets - 1;
+  }
+
+  // Largest value that lands in `index` (inclusive); bucket 0 tops out at 0.
+  static int64_t BucketUpperBound(int index);
+  // Smallest value of `index`; bucket 0 has no meaningful lower bound.
+  static int64_t BucketLowerBound(int index);
+
+  uint64_t count() const;
+  int64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  uint64_t bucket_count(int index) const {
+    return buckets_[index].load(std::memory_order_relaxed);
+  }
+
+  HistogramSnapshot Snapshot() const;
+
+ private:
+  std::atomic<uint64_t> buckets_[kNumBuckets] = {};
+  std::atomic<int64_t> sum_{0};
+};
+
+// Point-in-time export of a whole registry. Maps are name-sorted, so two
+// snapshots of identical metric state serialize byte-identically regardless
+// of registration order or thread interleaving.
+struct MetricsSnapshot {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, int64_t> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  void WriteJson(std::ostream& os) const;
+  void WriteCsv(std::ostream& os) const;
+};
+
+// Get-or-create registry of named metrics. Handles are stable for the
+// registry's lifetime; the same name always returns the same handle.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter* counter(const std::string& name);
+  Gauge* gauge(const std::string& name);
+  Histogram* histogram(const std::string& name);
+
+  MetricsSnapshot Snapshot() const;
+
+ private:
+  mutable std::mutex mu_;  // guards the maps; never held on the update path
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace bsched
+
+#endif  // SRC_OBS_METRICS_H_

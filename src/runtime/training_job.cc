@@ -15,6 +15,7 @@
 #include "src/engine/dag_engine.h"
 #include "src/engine/imperative_engine.h"
 #include "src/engine/proxy.h"
+#include "src/obs/obs.h"
 #include "src/sim/resource.h"
 #include "src/sim/simulator.h"
 
@@ -64,6 +65,13 @@ class TrainingJob {
   TrainingJob(const JobConfig& config, const Shared& shared)
       : config_(config), shared_(shared) {
     sim_ = shared_.sim != nullptr ? shared_.sim : &owned_sim_;
+    if ((config_.trace != nullptr || config_.metrics != nullptr) && shared_.sim == nullptr) {
+      // Observability is wired only for jobs owning their substrate; flow
+      // bookkeeping is single-threaded per simulator, and co-scheduled jobs
+      // would interleave flows unpredictably.
+      obs_storage_ = ObsContext(config_.trace, config_.metrics);
+      obs_ = &obs_storage_;
+    }
     if (config_.chaos.has_value()) {
       // Chaos owns its whole substrate: a shared fabric would splice one
       // job's fault episodes into every co-scheduled job's timeline.
@@ -152,6 +160,7 @@ class TrainingJob {
           ps.retry_backoff = config_.chaos->retry_backoff;
           ps.max_push_retries = config_.chaos->max_retries;
         }
+        ps.obs = obs_;
         owned_ps_ = std::make_unique<PsBackend>(sim_, ps);
         ps_ = owned_ps_.get();
       }
@@ -210,6 +219,7 @@ class TrainingJob {
       if (faults_ != nullptr) {
         ar.faults = faults_.get();
       }
+      ar.obs = obs_;
       ar_ = std::make_unique<AllReduceBackend>(sim_, ar);
       backend_ = ar_.get();
     }
@@ -234,7 +244,7 @@ class TrainingJob {
     const int num_cores = (config_.setup.arch == ArchType::kPs) ? sim_workers_ : 1;
     for (int w = 0; w < num_cores; ++w) {
       owned_cores_.push_back(
-          std::make_unique<SchedulerCore>(sched, backend_, w, sim_, faults_.get()));
+          std::make_unique<SchedulerCore>(sched, backend_, w, sim_, faults_.get(), obs_));
       cores_.push_back(owned_cores_.back().get());
     }
   }
@@ -677,7 +687,43 @@ class TrainingJob {
     if (ps_ != nullptr) {
       result.shard_load_imbalance = ps_->ShardLoadImbalance();
     }
+    ExportMetrics(result);
     return result;
+  }
+
+  // End-of-run subsystem totals into the metrics registry (on top of the
+  // hot-path histograms/counters recorded while the simulation ran).
+  void ExportMetrics(const JobResult& result) {
+    if (obs_ == nullptr || config_.metrics == nullptr) {
+      return;
+    }
+    MetricsRegistry& reg = *config_.metrics;
+    for (const auto& core : cores_) {
+      core->ExportMetrics();
+    }
+    if (ps_ != nullptr) {
+      ps_->ExportMetrics();
+    }
+    if (ar_ != nullptr) {
+      ar_->ExportMetrics();
+    }
+    reg.gauge("sim.processed_events")->Set(static_cast<int64_t>(sim_->processed_events()));
+    reg.gauge("sim.allocated_slots")->Set(static_cast<int64_t>(sim_->AllocatedSlots()));
+    reg.gauge("sim.skipped_cancelled")->Set(static_cast<int64_t>(sim_->skipped_cancelled()));
+    reg.gauge("sim.compactions")->Set(static_cast<int64_t>(sim_->compactions()));
+    for (size_t w = 0; w < gpus_.size(); ++w) {
+      reg.gauge("gpu.w" + std::to_string(w) + ".busy_ns")
+          ->Set(gpus_[w]->busy_time().nanos());
+    }
+    // Fault/recovery counters are always exported (zero without chaos), so
+    // obs_report and the acceptance checks see a stable key set.
+    reg.counter("fault.core_retries")->Inc(result.fault_stats.core_retries);
+    reg.counter("fault.core_timeouts")->Inc(result.fault_stats.core_timeouts);
+    reg.counter("fault.core_late_completions")->Inc(result.fault_stats.core_late_completions);
+    reg.counter("fault.core_abandoned")->Inc(result.fault_stats.core_abandoned);
+    reg.counter("fault.backend_retransmits")->Inc(result.fault_stats.backend_retransmits);
+    reg.counter("fault.drops_injected")->Inc(result.fault_stats.drops_injected);
+    reg.counter("fault.delays_injected")->Inc(result.fault_stats.delays_injected);
   }
 
   JobConfig config_;
@@ -688,6 +734,10 @@ class TrainingJob {
 
   Simulator owned_sim_;
   Simulator* sim_ = nullptr;
+  // Observability sinks (flow bookkeeping + metrics handles); set only for
+  // jobs owning their substrate, see the ctor.
+  ObsContext obs_storage_;
+  ObsContext* obs_ = nullptr;
   std::unique_ptr<FaultInjector> faults_;
   std::unique_ptr<PsBackend> owned_ps_;
   PsBackend* ps_ = nullptr;

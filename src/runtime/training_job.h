@@ -20,6 +20,8 @@
 
 namespace bsched {
 
+class MetricsRegistry;
+
 struct JobConfig {
   ModelProfile model;
   Setup setup;  // framework + architecture + transport
@@ -64,8 +66,16 @@ struct JobConfig {
   int measure_iters = 6;
 
   // Optional execution-trace sink (compute ops and per-tensor communication
-  // spans); must outlive RunTrainingJob. Null disables tracing.
+  // spans, plus scheduler/link/shard detail spans and partition flow arcs
+  // when set); must outlive RunTrainingJob. Null disables tracing.
   TraceRecorder* trace = nullptr;
+
+  // Optional metrics sink (scheduler queue depth / credit occupancy
+  // histograms, link byte/queueing metrics, end-of-run subsystem totals);
+  // must outlive RunTrainingJob. Null disables metrics. Give each job its
+  // own registry when comparing runs — names are not namespaced per job.
+  // Ignored (like `trace`) for co-scheduled jobs on shared infrastructure.
+  MetricsRegistry* metrics = nullptr;
 
   int total_gpus() const { return num_machines * gpus_per_machine; }
 };

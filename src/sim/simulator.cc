@@ -91,6 +91,7 @@ bool Simulator::Step() {
   while (!heap_.empty()) {
     Entry e = PopTop();
     if (!EntryLive(e)) {
+      ++skipped_cancelled_;
       continue;
     }
     Fire(e);
@@ -106,6 +107,7 @@ uint64_t Simulator::Run(SimTime deadline) {
     // cancelled head must not let an event beyond `deadline` fire.
     if (!EntryLive(heap_.front())) {
       PopTop();
+      ++skipped_cancelled_;
       continue;
     }
     if (heap_.front().when > deadline) {

@@ -180,6 +180,8 @@ class Simulator {
   size_t AllocatedSlots() const { return slots_.size(); }
   uint64_t processed_events() const { return processed_; }
   uint64_t compactions() const { return compactions_; }
+  // Cancelled entries lazily skipped at pop time (not counting compaction).
+  uint64_t skipped_cancelled() const { return skipped_cancelled_; }
 
  private:
   friend class EventHandle;
@@ -220,6 +222,7 @@ class Simulator {
   uint64_t next_seq_ = 0;
   uint64_t processed_ = 0;
   uint64_t compactions_ = 0;
+  uint64_t skipped_cancelled_ = 0;
   size_t live_ = 0;
   std::vector<Entry> heap_;  // binary min-heap via std::*_heap with Later
   std::vector<Slot> slots_;

@@ -169,6 +169,58 @@ TEST(PercentileTest, Basics) {
   EXPECT_DOUBLE_EQ(Percentile({42.0}, 99), 42.0);
 }
 
+TEST(PercentileTest, InPlaceMatchesFullSort) {
+  Rng rng(97);
+  std::vector<double> values;
+  for (int i = 0; i < 501; ++i) {
+    values.push_back(rng.Uniform(0.0, 1000.0));
+  }
+  for (double p : {0.0, 1.0, 25.0, 50.0, 75.0, 99.0, 100.0}) {
+    std::vector<double> scratch = values;
+    EXPECT_DOUBLE_EQ(PercentileInPlace(scratch, p), Percentile(values, p)) << "p=" << p;
+  }
+  std::vector<double> empty;
+  EXPECT_DOUBLE_EQ(PercentileInPlace(empty, 50), 0.0);
+  std::vector<double> one = {42.0};
+  EXPECT_DOUBLE_EQ(PercentileInPlace(one, 99), 42.0);
+}
+
+TEST(RunningStatsTest, MergeMatchesSingleAccumulator) {
+  Rng rng(31);
+  RunningStats combined;
+  RunningStats parts[4];
+  for (int i = 0; i < 10'000; ++i) {
+    const double v = rng.Gaussian(3.0, 1.5);
+    combined.Add(v);
+    parts[i % 4].Add(v);
+  }
+  RunningStats merged;
+  for (const RunningStats& part : parts) {
+    merged.Merge(part);
+  }
+  EXPECT_EQ(merged.count(), combined.count());
+  EXPECT_NEAR(merged.mean(), combined.mean(), 1e-12);
+  EXPECT_NEAR(merged.variance(), combined.variance(), 1e-9);
+  EXPECT_EQ(merged.min(), combined.min());
+  EXPECT_EQ(merged.max(), combined.max());
+}
+
+TEST(RunningStatsTest, MergeWithEmptySides) {
+  RunningStats filled;
+  filled.Add(1.0);
+  filled.Add(3.0);
+
+  RunningStats target;
+  target.Merge(filled);  // empty.Merge(filled) == copy
+  EXPECT_EQ(target.count(), 2u);
+  EXPECT_DOUBLE_EQ(target.mean(), 2.0);
+
+  RunningStats empty;
+  target.Merge(empty);  // merging an empty accumulator is a no-op
+  EXPECT_EQ(target.count(), 2u);
+  EXPECT_DOUBLE_EQ(target.mean(), 2.0);
+}
+
 TEST(MeanStdDevTest, Vector) {
   std::vector<double> v = {1.0, 2.0, 3.0};
   EXPECT_DOUBLE_EQ(Mean(v), 2.0);

@@ -1,0 +1,363 @@
+// Observability layer tests: metrics registry exactness (including under the
+// parallel sweep pool — run with the tsan preset for the data-race proof),
+// histogram bucket boundaries, snapshot determinism across worker counts,
+// and round-trip parsing of the exported trace + metrics artifacts.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/common/trace.h"
+#include "src/exec/sweep_runner.h"
+#include "src/model/zoo.h"
+#include "src/obs/json_lite.h"
+#include "src/obs/metrics.h"
+#include "src/obs/obs.h"
+#include "src/runtime/cluster.h"
+#include "src/runtime/training_job.h"
+
+namespace bsched {
+namespace {
+
+JobConfig SmallJob() {
+  JobConfig job;
+  job.model = Vgg16();
+  job.setup = Setup::MxnetPsRdma();
+  job.num_machines = 2;
+  job.bandwidth = Bandwidth::Gbps(100);
+  job.mode = SchedMode::kByteScheduler;
+  job.partition_bytes = MiB(4);
+  job.credit_bytes = MiB(16);
+  job.warmup_iters = 1;
+  job.measure_iters = 2;
+  return job;
+}
+
+// ---- histogram buckets ----------------------------------------------------
+
+TEST(HistogramTest, BucketBoundaries) {
+  // Bucket 0: v <= 0. Bucket k >= 1: [2^(k-1), 2^k - 1] (the bit width).
+  EXPECT_EQ(Histogram::BucketIndex(-5), 0);
+  EXPECT_EQ(Histogram::BucketIndex(0), 0);
+  EXPECT_EQ(Histogram::BucketIndex(1), 1);
+  EXPECT_EQ(Histogram::BucketIndex(2), 2);
+  EXPECT_EQ(Histogram::BucketIndex(3), 2);
+  EXPECT_EQ(Histogram::BucketIndex(4), 3);
+  EXPECT_EQ(Histogram::BucketIndex(7), 3);
+  EXPECT_EQ(Histogram::BucketIndex(8), 4);
+  for (int k = 1; k < 62; ++k) {
+    const int64_t lo = int64_t{1} << (k - 1);
+    const int64_t hi = (int64_t{1} << k) - 1;
+    EXPECT_EQ(Histogram::BucketIndex(lo), k) << "lo of bucket " << k;
+    EXPECT_EQ(Histogram::BucketIndex(hi), k) << "hi of bucket " << k;
+    EXPECT_EQ(Histogram::BucketLowerBound(k), lo);
+    EXPECT_EQ(Histogram::BucketUpperBound(k), hi);
+  }
+  // The top bucket absorbs everything wider than 63 bits of range.
+  EXPECT_EQ(Histogram::BucketIndex(INT64_MAX), Histogram::kNumBuckets - 1);
+  EXPECT_EQ(Histogram::BucketUpperBound(0), 0);
+}
+
+TEST(HistogramTest, ObserveAndSnapshot) {
+  Histogram h;
+  h.Observe(0);
+  h.Observe(1);
+  h.Observe(5);
+  h.Observe(5);
+  h.Observe(1000);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.sum(), 1011);
+  EXPECT_EQ(h.bucket_count(0), 1u);
+  EXPECT_EQ(h.bucket_count(1), 1u);
+  EXPECT_EQ(h.bucket_count(3), 2u);
+  EXPECT_EQ(h.bucket_count(10), 1u);
+
+  const HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.count, 5u);
+  EXPECT_EQ(snap.sum, 1011);
+  EXPECT_EQ(snap.buckets.size(), 4u);  // only non-empty buckets exported
+  // The median observation (5) lives in bucket 3 = [4, 7].
+  EXPECT_GE(snap.Quantile(50), 4.0);
+  EXPECT_LE(snap.Quantile(50), 7.0);
+  // Quantiles are monotone in q.
+  EXPECT_LE(snap.Quantile(50), snap.Quantile(90));
+  EXPECT_LE(snap.Quantile(90), snap.Quantile(100));
+}
+
+// ---- registry -------------------------------------------------------------
+
+TEST(MetricsRegistryTest, StableHandles) {
+  MetricsRegistry reg;
+  Counter* c = reg.counter("a");
+  EXPECT_EQ(reg.counter("a"), c);
+  EXPECT_NE(reg.counter("b"), c);
+  Gauge* g = reg.gauge("a");  // same name, different kind: distinct handle
+  EXPECT_EQ(reg.gauge("a"), g);
+  c->Inc();
+  c->Inc(4);
+  EXPECT_EQ(c->value(), 5u);
+  g->Set(-7);
+  g->Add(3);
+  EXPECT_EQ(g->value(), -4);
+}
+
+// The TSan-visible proof that a shared registry is safe under the exec/
+// thread pool: concurrent relaxed increments lose nothing.
+TEST(MetricsRegistryTest, ConcurrentIncrementsAreExact) {
+  MetricsRegistry reg;
+  Counter* counter = reg.counter("shared.counter");
+  Gauge* gauge = reg.gauge("shared.gauge");
+  Histogram* hist = reg.histogram("shared.hist");
+  constexpr int kTasks = 16;
+  constexpr int kPerTask = 10'000;
+  SweepRunner runner(4);
+  runner.ParallelFor(kTasks, [&](size_t i) {
+    for (int k = 0; k < kPerTask; ++k) {
+      counter->Inc();
+      gauge->Add(1);
+      hist->Observe(static_cast<int64_t>(i) + 1);
+    }
+  });
+  EXPECT_EQ(counter->value(), static_cast<uint64_t>(kTasks) * kPerTask);
+  EXPECT_EQ(gauge->value(), static_cast<int64_t>(kTasks) * kPerTask);
+  EXPECT_EQ(reg.histogram("shared.hist")->count(), static_cast<uint64_t>(kTasks) * kPerTask);
+}
+
+TEST(MetricsSnapshotTest, JsonIndependentOfRegistrationOrder) {
+  MetricsRegistry a;
+  a.counter("x")->Inc(3);
+  a.gauge("y")->Set(9);
+  a.histogram("z")->Observe(5);
+
+  MetricsRegistry b;  // same state, reverse registration order
+  b.histogram("z")->Observe(5);
+  b.gauge("y")->Set(9);
+  b.counter("x")->Inc(3);
+
+  std::ostringstream ja;
+  std::ostringstream jb;
+  a.Snapshot().WriteJson(ja);
+  b.Snapshot().WriteJson(jb);
+  EXPECT_EQ(ja.str(), jb.str());
+}
+
+// ---- end-to-end job instrumentation --------------------------------------
+
+TEST(ObsJobTest, MetricsDoNotPerturbSimulation) {
+  JobConfig job = SmallJob();
+  const JobResult plain = RunTrainingJob(job);
+
+  MetricsRegistry metrics;
+  TraceRecorder trace;
+  job.metrics = &metrics;
+  job.trace = &trace;
+  const JobResult observed = RunTrainingJob(job);
+  EXPECT_EQ(observed.avg_iter_time, plain.avg_iter_time);
+  EXPECT_EQ(observed.sim_events, plain.sim_events);
+}
+
+// The same job snapshots byte-identically whether the surrounding sweep ran
+// serially or on the pool (each run owns a private registry).
+TEST(ObsJobTest, SnapshotDeterministicAcrossJobCounts) {
+  auto run_once = [](size_t) {
+    MetricsRegistry metrics;
+    JobConfig job = SmallJob();
+    job.metrics = &metrics;
+    RunTrainingJob(job);
+    std::ostringstream os;
+    metrics.Snapshot().WriteJson(os);
+    return os.str();
+  };
+  SweepRunner serial(1);
+  SweepRunner parallel(4);
+  const std::vector<std::string> one = serial.ParallelFor(2, run_once);
+  const std::vector<std::string> many = parallel.ParallelFor(4, run_once);
+  for (const std::string& snapshot : many) {
+    EXPECT_EQ(snapshot, one.front());
+  }
+  EXPECT_EQ(one.back(), one.front());
+}
+
+TEST(ObsJobTest, TraceRoundTripsThroughParser) {
+  TraceRecorder trace;
+  MetricsRegistry metrics;
+  JobConfig job = SmallJob();
+  job.trace = &trace;
+  job.metrics = &metrics;
+  RunTrainingJob(job);
+
+  std::ostringstream os;
+  trace.WriteChromeTrace(os);
+  obs::JsonValue root;
+  std::string error;
+  ASSERT_TRUE(obs::ParseJson(os.str(), &root, &error)) << error;
+  ASSERT_TRUE(root.is_array());
+  ASSERT_FALSE(root.array.empty());
+
+  std::set<int> named_tids;
+  std::map<uint64_t, std::set<int>> flow_tracks;
+  std::map<uint64_t, std::set<std::string>> flow_phases;
+  for (const obs::JsonValue& ev : root.array) {
+    ASSERT_TRUE(ev.is_object());
+    const obs::JsonValue* ph = ev.Find("ph");
+    ASSERT_NE(ph, nullptr);
+    ASSERT_TRUE(ph->is_string());
+    const obs::JsonValue* pid = ev.Find("pid");
+    ASSERT_NE(pid, nullptr);
+    EXPECT_EQ(pid->IntOr(-1), 1);
+    const std::string phase = ph->str;
+    const int tid = static_cast<int>(ev.Find("tid")->IntOr(-1));
+    if (phase == "M") {
+      named_tids.insert(tid);
+    } else if (phase == "s" || phase == "t" || phase == "f") {
+      const uint64_t id = static_cast<uint64_t>(ev.Find("id")->IntOr(0));
+      EXPECT_NE(id, 0u);
+      flow_tracks[id].insert(tid);
+      flow_phases[id].insert(phase);
+    } else {
+      // Every span/instant lands on a track announced via thread_name.
+      EXPECT_TRUE(named_tids.count(tid)) << "unnamed tid " << tid;
+    }
+  }
+  // At least one partition is traceable end-to-end: its arc opens, closes,
+  // and crosses >= 3 distinct tracks (scheduler -> link -> shard -> ...).
+  bool end_to_end = false;
+  for (const auto& [id, tracks] : flow_tracks) {
+    if (tracks.size() >= 3 && flow_phases[id].count("s") && flow_phases[id].count("f")) {
+      end_to_end = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(end_to_end);
+}
+
+TEST(ObsJobTest, MetricsRoundTripsWithAcceptanceKeys) {
+  MetricsRegistry metrics;
+  JobConfig job = SmallJob();
+  job.metrics = &metrics;
+  RunTrainingJob(job);
+
+  std::ostringstream os;
+  metrics.Snapshot().WriteJson(os);
+  obs::JsonValue root;
+  std::string error;
+  ASSERT_TRUE(obs::ParseJson(os.str(), &root, &error)) << error;
+  ASSERT_TRUE(root.is_object());
+
+  const obs::JsonValue* counters = root.Find("counters");
+  const obs::JsonValue* gauges = root.Find("gauges");
+  const obs::JsonValue* histograms = root.Find("histograms");
+  ASSERT_NE(counters, nullptr);
+  ASSERT_NE(gauges, nullptr);
+  ASSERT_NE(histograms, nullptr);
+
+  // Scheduler queue depth + credit occupancy histograms, populated.
+  const obs::JsonValue* queue_depth = histograms->Find("sched.w0.queue_depth");
+  ASSERT_NE(queue_depth, nullptr);
+  EXPECT_GT(queue_depth->Find("count")->IntOr(0), 0);
+  const obs::JsonValue* credit = histograms->Find("sched.w0.credit_in_use");
+  ASSERT_NE(credit, nullptr);
+  EXPECT_GT(credit->Find("count")->IntOr(0), 0);
+
+  // Link busy time gauge for at least one link.
+  bool link_busy = false;
+  for (const auto& [name, value] : gauges->object) {
+    if (name.rfind("net.", 0) == 0 && name.size() > 8 &&
+        name.compare(name.size() - 8, 8, ".busy_ns") == 0 && value.IntOr(0) > 0) {
+      link_busy = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(link_busy);
+
+  // Fault-recovery counters always exported (zero without chaos).
+  const obs::JsonValue* retries = counters->Find("fault.core_retries");
+  ASSERT_NE(retries, nullptr);
+  EXPECT_EQ(retries->IntOr(-1), 0);
+
+  // Link byte counters account for real traffic.
+  bool link_bytes = false;
+  for (const auto& [name, value] : counters->object) {
+    if (name.rfind("net.", 0) == 0 && value.IntOr(0) > 0) {
+      link_bytes = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(link_bytes);
+}
+
+TEST(ObsJobTest, ChaosJobExportsRetryCounters) {
+  MetricsRegistry metrics;
+  JobConfig job = SmallJob();
+  job.chaos = FaultPlanConfig::Chaos(1);
+  job.metrics = &metrics;
+  const JobResult result = RunTrainingJob(job);
+  const MetricsSnapshot snap = metrics.Snapshot();
+  EXPECT_EQ(snap.counters.at("fault.core_retries"), result.fault_stats.core_retries);
+  EXPECT_EQ(snap.counters.at("fault.backend_retransmits"),
+            result.fault_stats.backend_retransmits);
+  EXPECT_EQ(snap.counters.at("fault.drops_injected"), result.fault_stats.drops_injected);
+}
+
+TEST(MetricsSnapshotTest, CsvShape) {
+  MetricsRegistry reg;
+  reg.counter("c")->Inc(2);
+  reg.gauge("g")->Set(5);
+  reg.histogram("h")->Observe(10);
+  std::ostringstream os;
+  reg.Snapshot().WriteCsv(os);
+  const std::string csv = os.str();
+  EXPECT_EQ(csv.rfind("kind,name,value,count,sum,p50,p99", 0), 0u);
+  EXPECT_NE(csv.find("counter,c,2"), std::string::npos);
+  EXPECT_NE(csv.find("gauge,g,5"), std::string::npos);
+  EXPECT_NE(csv.find("histogram,h"), std::string::npos);
+}
+
+// ---- pool stats (per-worker task counts / idle time) ----------------------
+
+TEST(PoolStatsTest, SweepRunnerAccountsEveryTask) {
+  SweepRunner runner(2);
+  constexpr size_t kTasks = 12;
+  std::vector<double> sink = runner.ParallelFor(kTasks, [](size_t i) {
+    double acc = 0.0;
+    for (int k = 0; k < 20'000; ++k) {
+      acc += static_cast<double>((i + 1) * k % 17);
+    }
+    return acc;
+  });
+  EXPECT_EQ(sink.size(), kTasks);
+  const PoolStats stats = runner.Stats();
+  EXPECT_EQ(stats.workers.size(), 2u);
+  EXPECT_EQ(stats.total_tasks(), kTasks);
+  const RunningStats merged = stats.merged_task_sec();
+  EXPECT_EQ(merged.count(), kTasks);
+  EXPECT_GE(merged.min(), 0.0);
+  // Inline runners expose empty stats rather than lying.
+  SweepRunner inline_runner(1);
+  inline_runner.ParallelFor(3, [](size_t) { return 0; });
+  EXPECT_EQ(inline_runner.Stats().total_tasks(), 0u);
+}
+
+// ---- ObsContext flow bookkeeping ------------------------------------------
+
+TEST(ObsContextTest, FlowLifecycle) {
+  TraceRecorder trace;
+  ObsContext obs(&trace, nullptr);
+  EXPECT_TRUE(obs.tracing());
+  EXPECT_EQ(obs.metrics(), nullptr);
+  const uint64_t flow = obs.BeginPartitionFlow(0, 7, 2);
+  EXPECT_NE(flow, 0u);
+  EXPECT_EQ(obs.LookupPartitionFlow(0, 7, 2), flow);
+  EXPECT_EQ(obs.LookupPartitionFlow(0, 7, 3), 0u);
+  // Reopening the same slot (next iteration) hands out a fresh id.
+  const uint64_t next = obs.BeginPartitionFlow(0, 7, 2);
+  EXPECT_NE(next, flow);
+  obs.EndPartitionFlow(0, 7, 2);
+  EXPECT_EQ(obs.LookupPartitionFlow(0, 7, 2), 0u);
+}
+
+}  // namespace
+}  // namespace bsched

@@ -47,6 +47,66 @@ TEST(TraceRecorderTest, ChromeTraceJsonShape) {
   EXPECT_NE(json.find("thread_name"), std::string::npos);
 }
 
+TEST(TraceRecorderTest, EscapesControlCharactersAndQuotedNames) {
+  TraceRecorder trace;
+  // A tensor named like an indexed parameter dict entry, plus raw control
+  // characters that must never reach the JSON output unescaped.
+  trace.AddSpan("net", "grad[\"fc1\"]", SimTime::Micros(0), SimTime::Micros(1));
+  trace.AddSpan("net", std::string("a\nb\tc\x01"), SimTime::Micros(2), SimTime::Micros(3));
+  std::ostringstream os;
+  trace.WriteChromeTrace(os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("grad[\\\"fc1\\\"]"), std::string::npos);
+  EXPECT_NE(json.find("a\\nb\\tc\\u0001"), std::string::npos);
+  // No raw control characters inside any JSON string (the only control
+  // bytes in the file are the inter-event newlines).
+  for (char c : json) {
+    if (c != '\n') {
+      EXPECT_GE(static_cast<unsigned char>(c), 0x20u);
+    }
+  }
+}
+
+TEST(TraceRecorderTest, TrackIdsFollowFirstUseOrder) {
+  TraceRecorder trace;
+  trace.AddSpan("zeta", "a", SimTime::Micros(0), SimTime::Micros(1));
+  trace.AddSpan("alpha", "b", SimTime::Micros(0), SimTime::Micros(1));
+  trace.AddSpan("zeta", "c", SimTime::Micros(2), SimTime::Micros(3));
+  std::ostringstream os;
+  trace.WriteChromeTrace(os);
+  const std::string json = os.str();
+  // "zeta" was seen first, so it owns the lower tid; the thread_name
+  // metadata is emitted in ascending tid order.
+  const size_t zeta = json.find("\"name\":\"zeta\"");
+  const size_t alpha = json.find("\"name\":\"alpha\"");
+  ASSERT_NE(zeta, std::string::npos);
+  ASSERT_NE(alpha, std::string::npos);
+  EXPECT_LT(zeta, alpha);
+}
+
+TEST(TraceRecorderTest, FlowEventsAndArgs) {
+  TraceRecorder trace;
+  trace.AddSpan("sched", "admit", SimTime::Micros(0), SimTime::Micros(2),
+                {TraceArg::Int("bytes", 4096), TraceArg::Str("tensor", "fc1")});
+  trace.AddFlow("sched", "t0.p0", SimTime::Micros(2), 7, FlowPhase::kStart);
+  trace.AddFlow("link", "t0.p0", SimTime::Micros(5), 7, FlowPhase::kStep);
+  trace.AddFlow("sched", "t0.p0", SimTime::Micros(9), 7, FlowPhase::kEnd);
+  EXPECT_EQ(trace.num_flow_events(), 3u);
+  std::ostringstream os;
+  trace.WriteChromeTrace(os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"ph\":\"s\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"t\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"f\""), std::string::npos);
+  // Binding point "e" on the closing event; shared flow id and category.
+  EXPECT_NE(json.find("\"bp\":\"e\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"flow\""), std::string::npos);
+  EXPECT_NE(json.find("\"id\":7"), std::string::npos);
+  // Typed args rendered into the span's args object.
+  EXPECT_NE(json.find("\"bytes\":4096"), std::string::npos);
+  EXPECT_NE(json.find("\"tensor\":\"fc1\""), std::string::npos);
+}
+
 TEST(TraceRecorderTest, JobProducesCoherentTrace) {
   TraceRecorder trace;
   JobConfig job;
@@ -62,9 +122,12 @@ TEST(TraceRecorderTest, JobProducesCoherentTrace) {
   job.trace = &trace;
   const JobResult result = RunTrainingJob(job);
 
-  // 2 workers x 3 iterations x 16 layers x (fp + bp) compute spans, plus one
-  // communication span per (worker, layer, iteration).
-  EXPECT_EQ(trace.num_events(), 2u * 3 * 16 * 2 + 2u * 3 * 16);
+  // At least: 2 workers x 3 iterations x 16 layers x (fp + bp) compute spans,
+  // plus one communication span per (worker, layer, iteration). The
+  // observability layer adds scheduler/link/shard detail spans and partition
+  // flow arcs on top.
+  EXPECT_GE(trace.num_events(), 2u * 3 * 16 * 2 + 2u * 3 * 16);
+  EXPECT_GT(trace.num_flow_events(), 0u);
   // GPU busy time per worker equals iterations x model compute time.
   const double gpu_busy = trace.TrackBusyTime("worker0/gpu").ToSeconds();
   EXPECT_NEAR(gpu_busy, 3 * job.model.TotalComputeTime().ToSeconds(), 1e-6);
@@ -107,6 +170,43 @@ TEST(FlagsTest, BoolSpellings) {
   EXPECT_TRUE(flags.GetBool("c", false));
   EXPECT_FALSE(flags.GetBool("d", true));
   EXPECT_FALSE(flags.GetBool("e", true));
+}
+
+TEST(ObsFlagsTest, DisabledByDefault) {
+  const char* argv[] = {"prog", "--jobs=4"};
+  const ObsFlags obs = ParseObsFlags(Flags(2, argv));
+  EXPECT_FALSE(obs.enabled());
+  EXPECT_TRUE(obs.trace_path.empty());
+  EXPECT_TRUE(obs.metrics_path.empty());
+}
+
+TEST(ObsFlagsTest, ExplicitPaths) {
+  const char* argv[] = {"prog", "--trace=/tmp/t.json", "--metrics=/tmp/m.json"};
+  const ObsFlags obs = ParseObsFlags(Flags(3, argv));
+  EXPECT_TRUE(obs.enabled());
+  EXPECT_EQ(obs.trace_path, "/tmp/t.json");
+  EXPECT_EQ(obs.metrics_path, "/tmp/m.json");
+}
+
+TEST(ObsFlagsTest, BareFlagsUseDefaults) {
+  const char* argv[] = {"prog", "--trace"};
+  const ObsFlags obs = ParseObsFlags(Flags(2, argv));
+  EXPECT_EQ(obs.trace_path, "trace.json");
+  EXPECT_TRUE(obs.metrics_path.empty());
+}
+
+TEST(ObsFlagsTest, ObsEnablesBoth) {
+  const char* argv[] = {"prog", "--obs"};
+  const ObsFlags obs = ParseObsFlags(Flags(2, argv));
+  EXPECT_EQ(obs.trace_path, "trace.json");
+  EXPECT_EQ(obs.metrics_path, "metrics.json");
+}
+
+TEST(ObsFlagsTest, ObsKeepsExplicitPaths) {
+  const char* argv[] = {"prog", "--obs", "--trace=custom.json"};
+  const ObsFlags obs = ParseObsFlags(Flags(3, argv));
+  EXPECT_EQ(obs.trace_path, "custom.json");
+  EXPECT_EQ(obs.metrics_path, "metrics.json");
 }
 
 TEST(PerLayerPartitionTest, OverridesUniformSize) {
