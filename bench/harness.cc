@@ -17,6 +17,9 @@ namespace {
 // Artifact paths captured by InitBenchJobs for MaybeWriteObsArtifacts.
 ObsFlags g_obs_flags;
 
+// --shards value captured by InitBenchJobs; applied by MakeJob.
+int g_shards = 0;
+
 }  // namespace
 
 std::vector<Setup> PaperSetups() {
@@ -34,6 +37,11 @@ JobConfig MakeJob(const ModelProfile& model, const Setup& setup, int num_machine
   job.bandwidth = bandwidth;
   job.warmup_iters = 2;
   job.measure_iters = 5;
+  // Sharded parallel-DES is PS-only; all-reduce cells quietly stay serial so
+  // one --shards flag can drive a mixed-architecture figure.
+  if (setup.arch == ArchType::kPs) {
+    job.shards = g_shards;
+  }
   return job;
 }
 
@@ -135,8 +143,11 @@ int InitBenchJobs(int argc, const char* const* argv) {
   const int jobs = static_cast<int>(flags.GetInt("jobs", 0));
   SweepRunner::SetDefaultJobs(jobs);
   g_obs_flags = ParseObsFlags(flags);
+  g_shards = static_cast<int>(flags.GetInt("shards", 0));
   return SweepRunner::DefaultJobs();
 }
+
+int BenchShards() { return g_shards; }
 
 void MaybeWriteObsArtifacts(const JobConfig& job) {
   if (!g_obs_flags.enabled()) {
@@ -148,6 +159,7 @@ void MaybeWriteObsArtifacts(const JobConfig& job) {
   TraceRecorder trace;
   MetricsRegistry metrics;
   JobConfig run = WithMode(job, SchedMode::kByteScheduler);
+  run.shards = 0;  // trace sinks require the serial path
   run.trace = g_obs_flags.trace_path.empty() ? nullptr : &trace;
   run.metrics = g_obs_flags.metrics_path.empty() ? nullptr : &metrics;
   RunTrainingJob(run);

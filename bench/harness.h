@@ -64,8 +64,14 @@ std::string GainPercent(double sched, double baseline);
 // Parses the common bench flags (--jobs N, default hardware concurrency) and
 // installs the result as the process-wide sweep worker count, plus the
 // shared observability flags (--trace / --metrics / --obs) consumed by
-// MaybeWriteObsArtifacts. Returns the effective jobs value.
+// MaybeWriteObsArtifacts and the sharded-execution flag (--shards K) applied
+// by MakeJob. Returns the effective jobs value.
 int InitBenchJobs(int argc, const char* const* argv);
+
+// Shard count from --shards (0 = serial single-Simulator execution). MakeJob
+// applies it to PS-architecture jobs only; results are bit-identical at any
+// K >= 1 (see JobConfig::shards).
+int BenchShards();
 
 // When InitBenchJobs saw --trace/--metrics/--obs: reruns `job` (forced to
 // ByteScheduler mode, serially — the trace sink is single-threaded) with the

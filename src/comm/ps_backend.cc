@@ -14,28 +14,66 @@ std::string PartName(int64_t tensor, int partition) {
   return "t" + std::to_string(tensor) + ".p" + std::to_string(partition);
 }
 
+// Cross-shard channel kinds (see Chan()). One ordered stream per
+// (kind, source entity, destination entity).
+constexpr uint64_t kChanPushData = 1;   // worker uplink -> shard ingress
+constexpr uint64_t kChanAckCancel = 2;  // shard -> worker (push acknowledged)
+constexpr uint64_t kChanPullReq = 3;    // worker -> shard (pull request)
+constexpr uint64_t kChanPullData = 4;   // shard egress -> worker downlink
+constexpr uint64_t kChanAggNotify = 5;  // shard -> worker (aggregation listener)
+
 }  // namespace
 
 PsBackend::PsBackend(Simulator* sim, const PsConfig& config) : sim_(sim), config_(config) {
-  BSCHED_CHECK(sim_ != nullptr);
   BSCHED_CHECK(config_.num_workers > 0);
   BSCHED_CHECK(config_.num_shards > 0);
+  if (Sharded()) {
+    // Sharded mode: entities live on the coordinator's per-shard simulators;
+    // a separate serial Simulator would be a second, disconnected clock.
+    BSCHED_CHECK(sim_ == nullptr);
+    // Every cross-entity hop must satisfy the conservative lookahead bound.
+    BSCHED_CHECK(config_.coord->lookahead() <= config_.control_latency);
+    BSCHED_CHECK(config_.coord->lookahead() <= config_.transport.latency);
+    // Flow traces record global interleavings; only commutative metric
+    // counters are shard-count-invariant.
+    BSCHED_CHECK(config_.obs == nullptr || !config_.obs->tracing());
+    const int k = config_.coord->shards();
+    for (int w = 0; w < config_.num_workers; ++w) {
+      worker_cshard_.push_back(w % k);
+      worker_sims_.push_back(config_.coord->shard(w % k));
+    }
+    for (int s = 0; s < config_.num_shards; ++s) {
+      shard_cshard_.push_back(s % k);
+      shard_sims_.push_back(config_.coord->shard(s % k));
+    }
+  } else {
+    BSCHED_CHECK(sim_ != nullptr);
+    worker_sims_.assign(config_.num_workers, sim_);
+    shard_sims_.assign(config_.num_shards, sim_);
+    worker_cshard_.assign(config_.num_workers, 0);
+    shard_cshard_.assign(config_.num_shards, 0);
+  }
   TransportModel receiver = config_.transport;
   receiver.serial_overhead = SimTime();
   receiver.latency = SimTime();
   for (int w = 0; w < config_.num_workers; ++w) {
     const std::string name = "worker" + std::to_string(w);
-    uplinks_.push_back(std::make_unique<Link>(sim, name + ".up", config_.link_rate,
+    uplinks_.push_back(std::make_unique<Link>(WorkerSim(w), name + ".up", config_.link_rate,
                                               config_.transport));
-    downlinks_.push_back(std::make_unique<Link>(sim, name + ".down", config_.link_rate, receiver));
+    downlinks_.push_back(
+        std::make_unique<Link>(WorkerSim(w), name + ".down", config_.link_rate, receiver));
   }
   for (int s = 0; s < config_.num_shards; ++s) {
     const std::string name = "shard" + std::to_string(s);
-    ingresses_.push_back(std::make_unique<Link>(sim, name + ".in", config_.link_rate, receiver));
-    egresses_.push_back(std::make_unique<Link>(sim, name + ".out", config_.link_rate,
+    ingresses_.push_back(
+        std::make_unique<Link>(ShardSim(s), name + ".in", config_.link_rate, receiver));
+    egresses_.push_back(std::make_unique<Link>(ShardSim(s), name + ".out", config_.link_rate,
                                                config_.transport));
-    shard_cpus_.push_back(std::make_unique<Resource>(sim, name + ".cpu"));
+    shard_cpus_.push_back(std::make_unique<Resource>(ShardSim(s), name + ".cpu"));
   }
+  slots_.resize(static_cast<size_t>(config_.num_shards));
+  pending_acks_.resize(static_cast<size_t>(config_.num_workers));
+  push_retransmits_.assign(static_cast<size_t>(config_.num_workers), 0);
   if (config_.faults != nullptr) {
     BSCHED_CHECK(config_.retry_backoff >= 1.0);
     BSCHED_CHECK(config_.max_push_retries >= 0);
@@ -54,6 +92,20 @@ PsBackend::PsBackend(Simulator* sim, const PsConfig& config) : sim_(sim), config
 
 bool PsBackend::Tracing() const {
   return config_.obs != nullptr && config_.obs->tracing();
+}
+
+void PsBackend::Forward(int src, int dst, uint64_t channel, SimTime delay, EventFn fn) {
+  if (Sharded()) {
+    config_.coord->Post(src, dst, channel, delay, std::move(fn));
+    return;
+  }
+  // Serial path: reproduce Link::SendWithFlush's delivery wrapper exactly —
+  // a zero wire flight runs inline, anything else schedules.
+  if (delay.nanos() == 0) {
+    fn();
+  } else {
+    sim_->Schedule(delay, std::move(fn));
+  }
 }
 
 int PsBackend::ShardFor(int64_t tensor_id, int partition) const {
@@ -80,53 +132,72 @@ void PsBackend::Start(const SubCommTask& subtask, std::function<void()> on_finis
 
 void PsBackend::HandlePush(const SubCommTask& subtask, std::function<void()> on_finish) {
   const int shard = ShardFor(subtask.tensor_id, subtask.partition);
-  const SimTime submit = sim_->Now();
-  uplinks_[subtask.worker]->SendWithFlush(
+  const int worker = subtask.worker;
+  Simulator* wsim = WorkerSim(worker);
+  const SimTime submit = wsim->Now();
+  uplinks_[worker]->SendCrossShard(
       subtask.bytes,
       /*on_flushed=*/
-      [this, subtask, shard, submit, on_finish = std::move(on_finish)]() mutable {
+      [this, subtask, shard, worker, wsim, submit, on_finish = std::move(on_finish)]() mutable {
         // Sender-side completion (the stack flushed the partition): this is
         // what returns scheduler credit, after a small completion latency.
         // From here the data leg is the backend's responsibility; with faults
         // enabled an ack timer guarantees it eventually reaches the shard.
         if (Tracing()) {
-          const std::string track = "net/worker" + std::to_string(subtask.worker) + ".up";
+          const std::string track = "net/worker" + std::to_string(worker) + ".up";
           TraceRecorder* trace = config_.obs->trace();
           trace->AddSpan(track, PartName(subtask.tensor_id, subtask.partition) + ".push", submit,
-                         sim_->Now(),
+                         wsim->Now(),
                          {TraceArg::Int("bytes", subtask.bytes),
                           TraceArg::Int("layer", subtask.layer),
                           TraceArg::Int("shard", shard)});
           if (subtask.flow != 0) {
-            trace->AddFlow(track, "flush", sim_->Now(), subtask.flow, FlowPhase::kStep);
+            trace->AddFlow(track, "flush", wsim->Now(), subtask.flow, FlowPhase::kStep);
           }
         }
         if (config_.faults != nullptr) {
           ArmPushAckTimer(subtask, shard, /*attempt=*/0);
         }
-        sim_->Schedule(config_.control_latency, std::move(on_finish));
+        // Flush notification goes to this worker's own scheduler core — a
+        // same-entity hop, so it stays a local schedule in sharded mode too.
+        wsim->Schedule(config_.control_latency, std::move(on_finish));
       },
-      /*on_delivered=*/
-      [this, subtask, shard]() {
-        // Store-and-forward: the partition now serializes into the shard NIC,
-        // where copies from all workers contend.
-        ingresses_[shard]->Send(subtask.bytes,
-                                [this, subtask, shard] { OnPushArrived(subtask, shard); });
+      /*deliver=*/
+      [this, subtask, shard, worker](SimTime wire) {
+        // Store-and-forward: after the wire flight the partition serializes
+        // into the shard NIC, where copies from all workers contend.
+        Forward(worker_cshard_[worker], shard_cshard_[shard],
+                Chan(kChanPushData, worker, shard), wire, [this, subtask, shard] {
+                  ingresses_[shard]->Send(subtask.bytes, [this, subtask, shard] {
+                    OnPushArrived(subtask, shard);
+                  });
+                });
       });
 }
 
 void PsBackend::SendPushData(const SubCommTask& subtask, int shard) {
   // Retransmission path: re-occupies the uplink (a resend spends real
   // bandwidth) but carries no flush callback — credit was already returned.
-  uplinks_[subtask.worker]->Send(subtask.bytes, [this, subtask, shard]() {
-    ingresses_[shard]->Send(subtask.bytes,
-                            [this, subtask, shard] { OnPushArrived(subtask, shard); });
-  });
+  // Shares the first transmission's channel: both ride the same FIFO uplink,
+  // so their flush order (and thus channel order) matches wire order.
+  const int worker = subtask.worker;
+  uplinks_[worker]->SendCrossShard(
+      subtask.bytes, /*on_flushed=*/nullptr,
+      [this, subtask, shard, worker](SimTime wire) {
+        Forward(worker_cshard_[worker], shard_cshard_[shard],
+                Chan(kChanPushData, worker, shard), wire, [this, subtask, shard] {
+                  ingresses_[shard]->Send(subtask.bytes, [this, subtask, shard] {
+                    OnPushArrived(subtask, shard);
+                  });
+                });
+      });
 }
 
 void PsBackend::ArmPushAckTimer(const SubCommTask& subtask, int shard, int attempt) {
-  const AckKey key{subtask.tensor_id, subtask.partition, subtask.worker};
-  EventHandle& pending = pending_acks_[key];
+  // Runs on (and schedules on) the owning worker's simulator.
+  const int worker = subtask.worker;
+  const AckKey key{subtask.tensor_id, subtask.partition};
+  EventHandle& pending = pending_acks_[worker][key];
   // Supersede a stale timer left by a previous aggregation round of the same
   // (tensor, partition, worker) slot (async mode reuses keys freely).
   pending.Cancel();
@@ -136,13 +207,13 @@ void PsBackend::ArmPushAckTimer(const SubCommTask& subtask, int shard, int attem
   }
   const SimTime timeout = SimTime(
       static_cast<int64_t>(static_cast<double>(config_.push_ack_timeout.nanos()) * scale));
-  pending = sim_->Schedule(timeout, [this, subtask, shard, attempt]() {
-    pending_acks_.erase(AckKey{subtask.tensor_id, subtask.partition, subtask.worker});
+  pending = WorkerSim(worker)->Schedule(timeout, [this, subtask, shard, worker, attempt]() {
+    pending_acks_[worker].erase(AckKey{subtask.tensor_id, subtask.partition});
     BSCHED_CHECK(attempt < config_.max_push_retries &&
                  "push data leg exhausted its retransmit budget");
-    ++push_retransmits_;
+    ++push_retransmits_[worker];
     if (config_.faults != nullptr) {
-      config_.faults->RecordBackendRetransmit(subtask.worker, subtask.layer, subtask.partition,
+      config_.faults->RecordBackendRetransmit(worker, subtask.layer, subtask.partition,
                                               attempt + 1);
     }
     ArmPushAckTimer(subtask, shard, attempt + 1);
@@ -155,14 +226,16 @@ SimTime PsBackend::ScaledUpdateTime(int shard, Bytes bytes) const {
       SimTime::Seconds(static_cast<double>(bytes) / config_.update_bytes_per_sec) +
       config_.update_fixed_overhead;
   if (config_.faults != nullptr) {
-    return config_.faults->ScaleShard(shard, update_time);
+    // The owning shard's clock decides which slowdown episode is active.
+    return config_.faults->ScaleShard(shard, update_time, ShardSim(shard)->Now());
   }
   return update_time;
 }
 
 // Records the shard-CPU update execution window. Called from the update's
 // completion callback, so the window is [now - update_time, now] (the shard
-// CPU is a FIFO resource: the job ran contiguously and just ended).
+// CPU is a FIFO resource: the job ran contiguously and just ended). Tracing
+// is serial-mode-only, so sim_ is the right clock here.
 void PsBackend::RecordUpdateSpan(int shard, int64_t tensor, int partition, uint64_t flow,
                                  SimTime update_time) {
   if (!Tracing()) {
@@ -179,18 +252,39 @@ void PsBackend::RecordUpdateSpan(int shard, int64_t tensor, int partition, uint6
 }
 
 void PsBackend::OnPushArrived(const SubCommTask& subtask, int shard) {
+  // Runs on the PS shard's simulator.
+  const int worker = subtask.worker;
   if (config_.faults != nullptr) {
-    auto ack = pending_acks_.find(AckKey{subtask.tensor_id, subtask.partition, subtask.worker});
-    if (ack != pending_acks_.end()) {
-      ack->second.Cancel();
-      pending_acks_.erase(ack);
+    if (!Sharded()) {
+      auto& acks = pending_acks_[worker];
+      auto ack = acks.find(AckKey{subtask.tensor_id, subtask.partition});
+      if (ack != acks.end()) {
+        ack->second.Cancel();
+        acks.erase(ack);
+      }
+    } else {
+      // The ack timer lives on the worker's shard: send an explicit ack
+      // message back. It pays a control latency, so a timer may fire while
+      // the ack is in flight — a spurious but deterministic retransmit, the
+      // same race a real unreliable-datagram PS pays.
+      config_.coord->Post(
+          shard_cshard_[shard], worker_cshard_[worker], Chan(kChanAckCancel, shard, worker),
+          config_.control_latency,
+          [this, worker, key = AckKey{subtask.tensor_id, subtask.partition}] {
+            auto& acks = pending_acks_[worker];
+            auto it = acks.find(key);
+            if (it != acks.end()) {
+              it->second.Cancel();
+              acks.erase(it);
+            }
+          });
     }
   }
   if (Tracing() && subtask.flow != 0) {
     config_.obs->trace()->AddFlow("ps/shard" + std::to_string(shard), "arrive", sim_->Now(),
                                   subtask.flow, FlowPhase::kStep);
   }
-  SlotState& slot = slots_[{subtask.tensor_id, subtask.partition}];
+  SlotState& slot = slots_[shard][{subtask.tensor_id, subtask.partition}];
   const SimTime update_time = ScaledUpdateTime(shard, subtask.bytes);
   if (!config_.synchronous) {
     // Async PS: apply each worker's gradient on arrival; parameters become
@@ -200,7 +294,7 @@ void PsBackend::OnPushArrived(const SubCommTask& subtask, int shard) {
                                              bytes = subtask.bytes, flow = subtask.flow,
                                              update_time] {
       RecordUpdateSpan(shard, tensor, partition, flow, update_time);
-      SlotState& s = slots_[{tensor, partition}];
+      SlotState& s = slots_[shard][{tensor, partition}];
       if (!s.aggregated) {
         s.aggregated = true;
       }
@@ -214,7 +308,7 @@ void PsBackend::OnPushArrived(const SubCommTask& subtask, int shard) {
   }
   // A set, not a counter: a retransmitted copy racing its merely-delayed
   // original must not count the same worker twice within a round.
-  slot.arrived.insert(subtask.worker);
+  slot.arrived.insert(worker);
   if (static_cast<int>(slot.arrived.size()) < config_.num_workers) {
     return;
   }
@@ -225,35 +319,60 @@ void PsBackend::OnPushArrived(const SubCommTask& subtask, int shard) {
                                            partition = subtask.partition, bytes = subtask.bytes,
                                            flow = subtask.flow, update_time] {
     RecordUpdateSpan(shard, tensor, partition, flow, update_time);
-    SlotState& s = slots_[{tensor, partition}];
+    SlotState& s = slots_[shard][{tensor, partition}];
     s.aggregated = true;
     auto pending = std::move(s.pending_pulls);
     s.pending_pulls.clear();
     for (auto& p : pending) {
       DeliverPull(shard, p.subtask, bytes, std::move(p.on_finish));
     }
-    for (const auto& listener : listeners_) {
-      listener(tensor, partition);
+    if (listeners_.empty()) {
+      return;
+    }
+    if (!Sharded()) {
+      // Listener-major, worker-minor: matches the legacy order, where each
+      // single listener looped workers 0..N-1 internally.
+      for (const auto& listener : listeners_) {
+        for (int w = 0; w < config_.num_workers; ++w) {
+          listener(tensor, partition, w);
+        }
+      }
+      return;
+    }
+    // Sharded: the notification is a shard -> worker control message, so
+    // each worker's listeners run on that worker's own shard.
+    for (int w = 0; w < config_.num_workers; ++w) {
+      config_.coord->Post(shard_cshard_[shard], worker_cshard_[w],
+                          Chan(kChanAggNotify, shard, w), config_.control_latency,
+                          [this, tensor, partition, w] {
+                            for (const auto& listener : listeners_) {
+                              listener(tensor, partition, w);
+                            }
+                          });
     }
   });
 }
 
 void PsBackend::HandlePull(const SubCommTask& subtask, std::function<void()> on_finish) {
   const int shard = ShardFor(subtask.tensor_id, subtask.partition);
-  // Pull request reaches the shard after a control-message latency.
-  sim_->Schedule(config_.control_latency, [this, subtask, shard,
-                                           on_finish = std::move(on_finish)]() mutable {
-    SlotState& slot = slots_[{subtask.tensor_id, subtask.partition}];
-    if (!slot.aggregated) {
-      slot.pending_pulls.push_back(PendingPull{subtask, std::move(on_finish)});
-      return;
-    }
-    DeliverPull(shard, subtask, subtask.bytes, std::move(on_finish));
-  });
+  const int worker = subtask.worker;
+  // Pull request reaches the shard after a control-message latency (a
+  // worker -> shard hop, so it crosses via Post in sharded mode).
+  Forward(worker_cshard_[worker], shard_cshard_[shard], Chan(kChanPullReq, worker, shard),
+          config_.control_latency,
+          [this, subtask, shard, on_finish = std::move(on_finish)]() mutable {
+            SlotState& slot = slots_[shard][{subtask.tensor_id, subtask.partition}];
+            if (!slot.aggregated) {
+              slot.pending_pulls.push_back(PendingPull{subtask, std::move(on_finish)});
+              return;
+            }
+            DeliverPull(shard, subtask, subtask.bytes, std::move(on_finish));
+          });
 }
 
 void PsBackend::DeliverPull(int shard, const SubCommTask& subtask, Bytes bytes,
                             std::function<void()> on_finish) {
+  // Runs on the PS shard's simulator.
   const int worker = subtask.worker;
   if (Tracing()) {
     // Wrap the completion so the downlink span and the flow hop are stamped
@@ -270,17 +389,27 @@ void PsBackend::DeliverPull(int shard, const SubCommTask& subtask, Bytes bytes,
       on_finish();
     };
   }
-  egresses_[shard]->Send(bytes, [this, worker, bytes, on_finish = std::move(on_finish)]() mutable {
-    downlinks_[worker]->Send(bytes, std::move(on_finish));
-  });
+  egresses_[shard]->SendCrossShard(
+      bytes, /*on_flushed=*/nullptr,
+      [this, shard, worker, bytes, on_finish = std::move(on_finish)](SimTime wire) mutable {
+        Forward(shard_cshard_[shard], worker_cshard_[worker],
+                Chan(kChanPullData, shard, worker), wire,
+                [this, worker, bytes, on_finish = std::move(on_finish)]() mutable {
+                  downlinks_[worker]->Send(bytes, std::move(on_finish));
+                });
+      });
 }
 
 void PsBackend::ResetAggregationState() {
-  slots_.clear();
-  for (auto& [key, handle] : pending_acks_) {
-    handle.Cancel();
+  for (auto& shard_slots : slots_) {
+    shard_slots.clear();
   }
-  pending_acks_.clear();
+  for (auto& worker_acks : pending_acks_) {
+    for (auto& [key, handle] : worker_acks) {
+      handle.Cancel();
+    }
+    worker_acks.clear();
+  }
 }
 
 Bytes PsBackend::shard_bytes_in(int shard) const {
@@ -322,23 +451,29 @@ void PsBackend::ExportMetrics() {
     m->gauge(prefix + ".bytes_out")->Set(shard_bytes_out(s));
     m->gauge(prefix + ".cpu_busy_ns")->Set(shard_cpus_[s]->busy_time().nanos());
   }
-  m->counter("ps.push_retransmits")->Inc(push_retransmits_);
+  m->counter("ps.push_retransmits")->Inc(push_retransmits());
 }
 
 std::string PsBackend::DebugString() const {
   int pending_pulls = 0;
   int waiting_slots = 0;
-  for (const auto& [key, slot] : slots_) {
-    pending_pulls += static_cast<int>(slot.pending_pulls.size());
-    if (!slot.arrived.empty()) {
-      ++waiting_slots;
+  for (const auto& shard_slots : slots_) {
+    for (const auto& [key, slot] : shard_slots) {
+      pending_pulls += static_cast<int>(slot.pending_pulls.size());
+      if (!slot.arrived.empty()) {
+        ++waiting_slots;
+      }
     }
   }
   std::string out = "ps pending_pulls=" + std::to_string(pending_pulls) +
                     " slots_awaiting_arrivals=" + std::to_string(waiting_slots);
   if (config_.faults != nullptr) {
-    out += " unacked_pushes=" + std::to_string(pending_acks_.size()) +
-           " retransmits=" + std::to_string(push_retransmits_);
+    size_t unacked = 0;
+    for (const auto& worker_acks : pending_acks_) {
+      unacked += worker_acks.size();
+    }
+    out += " unacked_pushes=" + std::to_string(unacked) +
+           " retransmits=" + std::to_string(push_retransmits());
   }
   return out;
 }

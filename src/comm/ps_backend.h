@@ -44,6 +44,7 @@
 #include "src/net/link.h"
 #include "src/net/transport.h"
 #include "src/sim/resource.h"
+#include "src/sim/shard_coordinator.h"
 #include "src/sim/simulator.h"
 
 namespace bsched {
@@ -78,10 +79,23 @@ struct PsConfig {
   SimTime push_ack_timeout = SimTime::Millis(25);
   double retry_backoff = 2.0;
   int max_push_retries = 12;
+
+  // Sharded parallel-DES mode. When set, each worker's entities (uplink,
+  // downlink, ack timers) live on coordinator shard (worker % shards) and
+  // each PS shard's entities (ingress, egress, CPU, slot state) on shard
+  // (ps_shard % shards); every hop between a worker and a PS shard crosses
+  // via ShardCoordinator::Post with a fixed merge order, so results are
+  // bit-identical at any shard count. Requires coord->lookahead() <=
+  // min(control_latency, transport.latency) and a trace-free ObsContext
+  // (metric counters are commutative sums; flow traces are not). The serial
+  // path (coord == nullptr) is byte-for-byte the legacy event sequence.
+  ShardCoordinator* coord = nullptr;
 };
 
 class PsBackend : public CommBackend {
  public:
+  // `sim` hosts every entity in serial mode; it must be null when
+  // config.coord is set (entities then live on the coordinator's shards).
   PsBackend(Simulator* sim, const PsConfig& config);
 
   void Start(const SubCommTask& subtask, std::function<void()> on_finish) override;
@@ -92,14 +106,18 @@ class PsBackend : public CommBackend {
   // Human-readable aggregation/pending state for diagnostics.
   std::string DebugString() const;
 
-  // Synchronous mode: invoked whenever a (tensor, partition) finishes
-  // aggregation (all workers' gradients arrived and the update ran). Plugins
-  // use this server-side notification to make pull partitions ready — a pull
-  // scheduled before its data exists would otherwise park inside the stack
-  // while holding sender credit, which can deadlock credit-limited schedulers
-  // across workers (each waiting for another's queued push). Multiple
-  // listeners are supported (co-scheduled jobs sharing the backend).
-  void AddAggregationListener(std::function<void(int64_t tensor_id, int partition)> fn) {
+  // Synchronous mode: invoked once per worker whenever a (tensor, partition)
+  // finishes aggregation (all workers' gradients arrived and the update ran).
+  // Plugins use this server-side notification to make pull partitions ready —
+  // a pull scheduled before its data exists would otherwise park inside the
+  // stack while holding sender credit, which can deadlock credit-limited
+  // schedulers across workers (each waiting for another's queued push).
+  // Multiple listeners are supported (co-scheduled jobs sharing the backend).
+  // The worker-indexed signature is what lets sharded mode deliver each
+  // worker's notification on that worker's own shard; serial mode invokes
+  // workers 0..N-1 synchronously at aggregation time, as before.
+  void AddAggregationListener(
+      std::function<void(int64_t tensor_id, int partition, int worker)> fn) {
     listeners_.push_back(std::move(fn));
   }
 
@@ -114,8 +132,13 @@ class PsBackend : public CommBackend {
   Link& worker_uplink(int worker) { return *uplinks_[worker]; }
   Link& worker_downlink(int worker) { return *downlinks_[worker]; }
 
-  // Retransmissions attempted for lost push data legs (0 without faults).
-  uint64_t push_retransmits() const { return push_retransmits_; }
+  // Retransmissions attempted for lost push data legs (0 without faults);
+  // summed over workers, so the total is shard-count-invariant.
+  uint64_t push_retransmits() const {
+    uint64_t total = 0;
+    for (uint64_t r : push_retransmits_) total += r;
+    return total;
+  }
 
   // Exports end-of-run metrics (per-link busy time, per-shard bytes/CPU
   // time, retransmit count) into the obs registry. No-op without obs.
@@ -139,9 +162,19 @@ class PsBackend : public CommBackend {
     std::vector<PendingPull> pending_pulls;
   };
 
-  using AckKey = std::tuple<int64_t, int, int>;  // (tensor, partition, worker)
+  using AckKey = std::pair<int64_t, int>;  // (tensor, partition); maps are per worker
 
   bool Tracing() const;
+  bool Sharded() const { return config_.coord != nullptr; }
+  // Simulated clock of the entity (worker NIC stack / shard CPU) hosting the
+  // current callback; in serial mode both are the single shared Simulator.
+  Simulator* WorkerSim(int worker) const { return worker_sims_[worker]; }
+  Simulator* ShardSim(int shard) const { return shard_sims_[shard]; }
+  // Cross-shard channel ids: one ordered stream per (message kind, source
+  // entity, destination entity). Stable across shard counts by construction.
+  static uint64_t Chan(uint64_t kind, int a, int b) {
+    return (kind << 32) | (static_cast<uint64_t>(a) << 16) | static_cast<uint64_t>(b);
+  }
   void RecordUpdateSpan(int shard, int64_t tensor, int partition, uint64_t flow,
                         SimTime update_time);
   int ShardFor(int64_t tensor_id, int partition) const;
@@ -155,9 +188,19 @@ class PsBackend : public CommBackend {
   void SendPushData(const SubCommTask& subtask, int shard);
   void ArmPushAckTimer(const SubCommTask& subtask, int shard, int attempt);
   SimTime ScaledUpdateTime(int shard, Bytes bytes) const;
+  // Runs `fn` on the destination entity `delay` after the caller's now.
+  // Serial: schedule on sim_ (delay 0 runs inline, matching the link wrapper
+  // in Link::SendWithFlush). Sharded: ShardCoordinator::Post on `channel`
+  // from coordinator shard `src` to `dst`.
+  void Forward(int src, int dst, uint64_t channel, SimTime delay, EventFn fn);
 
-  Simulator* sim_;
+  Simulator* sim_;  // null in sharded mode
   PsConfig config_;
+  // Entity-to-simulator mapping (all point at sim_ in serial mode).
+  std::vector<Simulator*> worker_sims_;
+  std::vector<Simulator*> shard_sims_;
+  std::vector<int> worker_cshard_;  // coordinator shard index per worker
+  std::vector<int> shard_cshard_;   // coordinator shard index per PS shard
   // Sender-side links pay the per-message overhead θ; receiver-side links
   // model serialization into the receiving NIC only.
   std::vector<std::unique_ptr<Link>> uplinks_;     // worker -> network
@@ -165,11 +208,14 @@ class PsBackend : public CommBackend {
   std::vector<std::unique_ptr<Link>> ingresses_;   // network -> shard
   std::vector<std::unique_ptr<Link>> egresses_;    // shard -> network
   std::vector<std::unique_ptr<Resource>> shard_cpus_;
-  std::map<std::pair<int64_t, int>, SlotState> slots_;  // keyed by (tensor, partition)
-  std::vector<std::function<void(int64_t tensor_id, int partition)>> listeners_;
-  // Un-acked push data legs awaiting shard arrival (faults enabled only).
-  std::map<AckKey, EventHandle> pending_acks_;
-  uint64_t push_retransmits_ = 0;
+  // Aggregation state, partitioned by owning PS shard (only that shard's
+  // simulator touches its map, which is what makes sharded mode race-free).
+  std::vector<std::map<std::pair<int64_t, int>, SlotState>> slots_;
+  std::vector<std::function<void(int64_t tensor_id, int partition, int worker)>> listeners_;
+  // Un-acked push data legs awaiting shard arrival (faults enabled only);
+  // partitioned by worker, whose simulator owns the timers.
+  std::vector<std::map<AckKey, EventHandle>> pending_acks_;
+  std::vector<uint64_t> push_retransmits_;  // per worker
 };
 
 }  // namespace bsched

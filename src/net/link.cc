@@ -44,6 +44,24 @@ void Link::ExportMetrics() {
 
 void Link::SendWithFlush(Bytes size, std::function<void()> on_flushed,
                          std::function<void()> on_delivered) {
+  if (!on_delivered) {
+    SendCrossShard(size, std::move(on_flushed), nullptr);
+    return;
+  }
+  SendCrossShard(size, std::move(on_flushed),
+                 [this, on_delivered = std::move(on_delivered)](SimTime wire) mutable {
+                   if (wire.nanos() == 0) {
+                     on_delivered();
+                   } else {
+                     // Delivery completes after the pipelined latency; the link
+                     // itself is already free for the next message.
+                     sim_->Schedule(wire, std::move(on_delivered));
+                   }
+                 });
+}
+
+void Link::SendCrossShard(Bytes size, std::function<void()> on_flushed,
+                          std::function<void(SimTime)> deliver) {
   bytes_sent_ += size;
   if (obs_bytes_ != nullptr) {
     obs_bytes_->Inc(static_cast<uint64_t>(size));
@@ -55,7 +73,7 @@ void Link::SendWithFlush(Bytes size, std::function<void()> on_flushed,
   }
   const SimTime latency = transport_.latency;
   resource_.Submit(MessageTime(size), [this, size, latency, on_flushed = std::move(on_flushed),
-                                       on_delivered = std::move(on_delivered)]() mutable {
+                                       deliver = std::move(deliver)]() mutable {
     // Flush == left the NIC queue; decrement here so fault drops (which
     // never deliver) still settle the gauge.
     if (obs_inflight_ != nullptr) {
@@ -64,7 +82,7 @@ void Link::SendWithFlush(Bytes size, std::function<void()> on_flushed,
     if (on_flushed) {
       on_flushed();
     }
-    if (!on_delivered) {
+    if (!deliver) {
       return;
     }
     SimTime total = latency;
@@ -77,13 +95,7 @@ void Link::SendWithFlush(Bytes size, std::function<void()> on_flushed,
       }
       total += fate.delay;
     }
-    if (total.nanos() == 0) {
-      on_delivered();
-    } else {
-      // Delivery completes after the pipelined latency; the link itself is
-      // already free for the next message.
-      sim_->Schedule(total, std::move(on_delivered));
-    }
+    deliver(total);
   });
 }
 

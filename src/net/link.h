@@ -38,6 +38,15 @@ class Link {
   void SendWithFlush(Bytes size, std::function<void()> on_flushed,
                      std::function<void()> on_delivered);
 
+  // Sharded-mode variant: identical sender-side behavior (occupancy, flush,
+  // obs counters, fault fate), but instead of scheduling the delivery on this
+  // link's own Simulator, hands the computed wire flight (pipelined latency
+  // plus any injected delay) to `deliver` at flush time. The caller forwards
+  // it across the shard boundary (ShardCoordinator::Post). Dropped messages
+  // never invoke `deliver`, exactly as they never invoke on_delivered.
+  void SendCrossShard(Bytes size, std::function<void()> on_flushed,
+                      std::function<void(SimTime wire_flight)> deliver);
+
   // Time a message of `size` occupies this link (excludes pipelined latency).
   SimTime MessageTime(Bytes size) const { return transport_.MessageTime(line_rate_, size); }
 

@@ -17,6 +17,7 @@
 #include "src/engine/proxy.h"
 #include "src/obs/obs.h"
 #include "src/sim/resource.h"
+#include "src/sim/shard_coordinator.h"
 #include "src/sim/simulator.h"
 
 namespace bsched {
@@ -64,7 +65,24 @@ class TrainingJob {
 
   TrainingJob(const JobConfig& config, const Shared& shared)
       : config_(config), shared_(shared) {
-    sim_ = shared_.sim != nullptr ? shared_.sim : &owned_sim_;
+    if (config_.shards > 0) {
+      BSCHED_CHECK(config_.setup.arch == ArchType::kPs &&
+                   "sharded execution is PS-only (all-reduce runs one master Core)");
+      BSCHED_CHECK(shared_.sim == nullptr && shared_.ps == nullptr &&
+                   "sharded execution cannot share co-scheduled infrastructure");
+      BSCHED_CHECK(config_.trace == nullptr &&
+                   "flow traces record global interleavings; sharded runs are metrics-only");
+      const SimTime lookahead =
+          std::min(PsConfig().control_latency, config_.setup.transport.latency);
+      BSCHED_CHECK(lookahead.nanos() > 0 &&
+                   "sharded execution needs a latency-bearing transport (lookahead > 0)");
+      coord_ = std::make_unique<ShardCoordinator>(config_.shards, lookahead);
+      // sim_ stays null: every entity lives on one of the coordinator's
+      // per-shard simulators (see WorkerSim), and any stray serial-path use
+      // should crash loudly rather than silently desynchronize.
+    } else {
+      sim_ = shared_.sim != nullptr ? shared_.sim : &owned_sim_;
+    }
     if ((config_.trace != nullptr || config_.metrics != nullptr) && shared_.sim == nullptr) {
       // Observability is wired only for jobs owning their substrate; flow
       // bookkeeping is single-threaded per simulator, and co-scheduled jobs
@@ -99,7 +117,9 @@ class TrainingJob {
     // representative worker chain suffices; PS workers contend at shards and
     // must all be simulated.
     sim_workers_ = (config_.setup.arch == ArchType::kPs) ? config_.num_machines : 1;
-    iter_bp_end_.assign(total_iters_, SimTime());
+    // Per-worker BP-end stamps, merged (max) at Collect: in sharded mode each
+    // worker records on its own shard, so a single shared max cell would race.
+    worker_bp_end_.assign(sim_workers_, std::vector<SimTime>(total_iters_));
   }
 
   // Builds the substrate and launches the engines (events pending in sim).
@@ -136,11 +156,20 @@ class TrainingJob {
 
   JobResult Run() {
     Prepare();
-    sim_->Run();
+    if (coord_ != nullptr) {
+      coord_->Run();
+    } else {
+      sim_->Run();
+    }
     return Finish();
   }
 
  private:
+  // Simulator hosting worker `worker`'s entities (its GPU, engine, Core and
+  // NIC-side state): the serial Simulator, or the worker's coordinator shard.
+  Simulator* WorkerSim(int worker) const {
+    return coord_ != nullptr ? coord_->shard(worker % config_.shards) : sim_;
+  }
   // ---- construction of the substrate -------------------------------------
 
   void BuildBackend() {
@@ -161,6 +190,7 @@ class TrainingJob {
           ps.max_push_retries = config_.chaos->max_retries;
         }
         ps.obs = obs_;
+        ps.coord = coord_.get();
         owned_ps_ = std::make_unique<PsBackend>(sim_, ps);
         ps_ = owned_ps_.get();
       }
@@ -176,34 +206,36 @@ class TrainingJob {
         // granularity; vanilla frameworks issue the pull only once the whole
         // tensor's push completed (tensor-level chaining, §2.2).
         const bool tensor_level = config_.mode == SchedMode::kVanilla;
-        ps_->AddAggregationListener([this, tensor_level](int64_t tensor_id, int partition) {
+        // Invoked once per worker (sharded mode delivers each worker's
+        // notification on that worker's own shard), so the body touches only
+        // worker-indexed state.
+        ps_->AddAggregationListener([this, tensor_level](int64_t tensor_id, int partition,
+                                                         int w) {
           const int64_t local = tensor_id - shared_.tensor_offset;
           if (local < 0 || local >= num_layers_) {
             return;  // another co-scheduled job's tensor
           }
           const int layer = static_cast<int>(local);
-          for (int w = 0; w < sim_workers_; ++w) {
-            if (!tensor_level) {
-              const CommTaskId id = pull_task_ids_[w][layer];
-              if (id != kInvalidCommTask) {
-                cores_[w]->NotifyReadyPartition(id, partition);
-              }
-              continue;
+          if (!tensor_level) {
+            const CommTaskId id = pull_task_ids_[w][layer];
+            if (id != kInvalidCommTask) {
+              cores_[w]->NotifyReadyPartition(id, partition);
             }
-            if (++agg_counts_[w][layer] < push_parts_[w][layer]) {
-              continue;
-            }
-            agg_counts_[w][layer] = 0;
-            // Whole tensor aggregated. MXNet-style engines now issue the
-            // pull; barrier engines (TF) complete the send op — the pull
-            // happens at the start of the next step.
-            if (agg_done_cbs_[w][layer]) {
-              auto cb = std::move(agg_done_cbs_[w][layer]);
-              agg_done_cbs_[w][layer] = nullptr;
-              cb();
-            } else if (pull_task_ids_[w][layer] != kInvalidCommTask) {
-              cores_[w]->NotifyReady(pull_task_ids_[w][layer]);
-            }
+            return;
+          }
+          if (++agg_counts_[w][layer] < push_parts_[w][layer]) {
+            return;
+          }
+          agg_counts_[w][layer] = 0;
+          // Whole tensor aggregated. MXNet-style engines now issue the
+          // pull; barrier engines (TF) complete the send op — the pull
+          // happens at the start of the next step.
+          if (agg_done_cbs_[w][layer]) {
+            auto cb = std::move(agg_done_cbs_[w][layer]);
+            agg_done_cbs_[w][layer] = nullptr;
+            cb();
+          } else if (pull_task_ids_[w][layer] != kInvalidCommTask) {
+            cores_[w]->NotifyReady(pull_task_ids_[w][layer]);
           }
         });
       }
@@ -244,19 +276,20 @@ class TrainingJob {
     const int num_cores = (config_.setup.arch == ArchType::kPs) ? sim_workers_ : 1;
     for (int w = 0; w < num_cores; ++w) {
       owned_cores_.push_back(
-          std::make_unique<SchedulerCore>(sched, backend_, w, sim_, faults_.get(), obs_));
+          std::make_unique<SchedulerCore>(sched, backend_, w, WorkerSim(w), faults_.get(), obs_));
       cores_.push_back(owned_cores_.back().get());
     }
   }
 
   void BuildWorkers() {
     for (int w = 0; w < sim_workers_; ++w) {
-      gpus_.push_back(std::make_unique<Resource>(sim_, "gpu" + std::to_string(w)));
+      Simulator* wsim = WorkerSim(w);
+      gpus_.push_back(std::make_unique<Resource>(wsim, "gpu" + std::to_string(w)));
       if (IsImperative(config_.setup.framework)) {
-        imp_engines_.push_back(std::make_unique<ImperativeEngine>(sim_));
+        imp_engines_.push_back(std::make_unique<ImperativeEngine>(wsim));
         BuildImperativeWorker(w);
       } else {
-        dag_engines_.push_back(std::make_unique<DagEngine>(sim_));
+        dag_engines_.push_back(std::make_unique<DagEngine>(wsim));
         BuildDeclarativeWorker(w);
       }
     }
@@ -269,32 +302,35 @@ class TrainingJob {
   DagEngine::OpFn ComputeOp(int worker, SimTime duration, std::string name = "",
                             int bp_end_iter = -1) {
     Resource* gpu = gpus_[worker].get();
-    return [this, gpu, worker, duration, name = std::move(name),
+    Simulator* wsim = WorkerSim(worker);
+    return [this, gpu, wsim, worker, duration, name = std::move(name),
             bp_end_iter](DagEngine::Done done) {
-      const SimTime queued_at = sim_->Now();
+      const SimTime queued_at = wsim->Now();
       SimTime effective = duration;
       if (faults_ != nullptr) {
-        // Straggler episode: this worker's kernels run slower for a while.
-        effective = faults_->ScaleCompute(worker, effective);
+        // Straggler episode: this worker's kernels run slower for a while,
+        // judged by the worker's own clock (shards advance independently
+        // within a lookahead window).
+        effective = faults_->ScaleCompute(worker, effective, wsim->Now());
       }
-      gpu->Submit(effective, [this, worker, queued_at, name, bp_end_iter,
+      gpu->Submit(effective, [this, wsim, worker, queued_at, name, bp_end_iter,
                              done = std::move(done)] {
         if (bp_end_iter >= 0) {
-          RecordBpEnd(bp_end_iter);
+          RecordBpEnd(worker, bp_end_iter, wsim->Now());
         }
         if (config_.trace != nullptr) {
           config_.trace->AddSpan("worker" + std::to_string(worker) + "/gpu", name, queued_at,
-                                 sim_->Now());
+                                 wsim->Now());
         }
         done();
       });
     };
   }
 
-  // Records the completion of BP for (worker, iter); the slowest worker's
-  // time is the iteration's BP end.
-  void RecordBpEnd(int iter) {
-    iter_bp_end_[iter] = std::max(iter_bp_end_[iter], sim_->Now());
+  // Records the completion of BP for (worker, iter); Collect() takes the
+  // slowest worker's time as the iteration's BP end.
+  void RecordBpEnd(int worker, int iter, SimTime now) {
+    worker_bp_end_[worker][iter] = std::max(worker_bp_end_[worker][iter], now);
   }
 
   // Starts the full PS communication for one tensor on `worker`'s Core: a
@@ -665,19 +701,28 @@ class TrainingJob {
 
   JobResult Collect() {
     JobResult result;
-    result.sim_events = sim_->processed_events();
+    // Total processed events is shard-count-invariant (same global event set
+    // regardless of partition), so the sharded oracle can compare it.
+    result.sim_events =
+        coord_ != nullptr ? coord_->total_processed() : sim_->processed_events();
     for (const auto& core : cores_) {
       result.subtasks_started += core->subtasks_started();
     }
-    result.iter_end_times = iter_bp_end_;
+    std::vector<SimTime> iter_bp_end(total_iters_);
+    for (int k = 0; k < total_iters_; ++k) {
+      for (int w = 0; w < sim_workers_; ++w) {
+        iter_bp_end[k] = std::max(iter_bp_end[k], worker_bp_end_[w][k]);
+      }
+    }
+    result.iter_end_times = iter_bp_end;
     if (faults_ != nullptr) {
       result.fault_stats = faults_->stats();
     }
     for (const auto& core : cores_) {
       result.subtasks_abandoned += core->subtasks_abandoned();
     }
-    const SimTime start = iter_bp_end_[config_.warmup_iters - 1];
-    const SimTime end = iter_bp_end_[total_iters_ - 1];
+    const SimTime start = iter_bp_end[config_.warmup_iters - 1];
+    const SimTime end = iter_bp_end[total_iters_ - 1];
     const double span_sec = (end - start).ToSeconds();
     BSCHED_CHECK(span_sec > 0);
     result.avg_iter_time = SimTime::Seconds(span_sec / config_.measure_iters);
@@ -707,10 +752,22 @@ class TrainingJob {
     if (ar_ != nullptr) {
       ar_->ExportMetrics();
     }
-    reg.gauge("sim.processed_events")->Set(static_cast<int64_t>(sim_->processed_events()));
-    reg.gauge("sim.allocated_slots")->Set(static_cast<int64_t>(sim_->AllocatedSlots()));
-    reg.gauge("sim.skipped_cancelled")->Set(static_cast<int64_t>(sim_->skipped_cancelled()));
-    reg.gauge("sim.compactions")->Set(static_cast<int64_t>(sim_->compactions()));
+    if (coord_ != nullptr) {
+      // Only shard-count-invariant gauges are exported in sharded mode:
+      // allocated_slots / skipped_cancelled / compactions depend on how
+      // events landed on shards, and the sharded oracle compares metric
+      // snapshots byte for byte across shard counts.
+      reg.gauge("sim.processed_events")
+          ->Set(static_cast<int64_t>(coord_->total_processed()));
+      reg.gauge("sim.windows")->Set(static_cast<int64_t>(coord_->windows()));
+      reg.gauge("sim.cross_shard_messages")
+          ->Set(static_cast<int64_t>(coord_->messages_posted()));
+    } else {
+      reg.gauge("sim.processed_events")->Set(static_cast<int64_t>(sim_->processed_events()));
+      reg.gauge("sim.allocated_slots")->Set(static_cast<int64_t>(sim_->AllocatedSlots()));
+      reg.gauge("sim.skipped_cancelled")->Set(static_cast<int64_t>(sim_->skipped_cancelled()));
+      reg.gauge("sim.compactions")->Set(static_cast<int64_t>(sim_->compactions()));
+    }
     for (size_t w = 0; w < gpus_.size(); ++w) {
       reg.gauge("gpu.w" + std::to_string(w) + ".busy_ns")
           ->Set(gpus_[w]->busy_time().nanos());
@@ -733,7 +790,8 @@ class TrainingJob {
   int sim_workers_ = 0;
 
   Simulator owned_sim_;
-  Simulator* sim_ = nullptr;
+  Simulator* sim_ = nullptr;  // null in sharded mode (see WorkerSim)
+  std::unique_ptr<ShardCoordinator> coord_;
   // Observability sinks (flow bookkeeping + metrics handles); set only for
   // jobs owning their substrate, see the ctor.
   ObsContext obs_storage_;
@@ -749,7 +807,9 @@ class TrainingJob {
   std::vector<std::unique_ptr<DagEngine>> dag_engines_;
   std::vector<std::unique_ptr<ImperativeEngine>> imp_engines_;
   std::vector<std::unique_ptr<DependencyProxy>> proxies_;
-  std::vector<SimTime> iter_bp_end_;
+  // BP-finish stamp per (worker, iteration); each worker writes only its own
+  // row (on its own shard in sharded mode), merged by max at Collect().
+  std::vector<std::vector<SimTime>> worker_bp_end_;
   // Latest pull CommTask per (worker, layer); targets of the aggregation
   // listener in synchronous PS mode.
   std::vector<std::vector<CommTaskId>> pull_task_ids_;
@@ -776,6 +836,7 @@ std::vector<JobResult> RunCoscheduledPsJobs(const std::vector<JobConfig>& jobs,
     BSCHED_CHECK(job.bandwidth == first.bandwidth);
     BSCHED_CHECK(job.ps_async == first.ps_async);
     BSCHED_CHECK(!job.chaos.has_value() && "chaos mode is unsupported for co-scheduled jobs");
+    BSCHED_CHECK(job.shards == 0 && "sharded execution is unsupported for co-scheduled jobs");
   }
 
   Simulator sim;

@@ -62,6 +62,21 @@ struct JobConfig {
   // infrastructure.
   std::optional<FaultPlanConfig> chaos;
 
+  // Sharded parallel-DES execution (PS architecture only): partition the
+  // fabric across `shards` coordinator shards — worker w's entities (GPU,
+  // engine, Core, NIC links, ack timers) on shard w % shards, PS shard s's
+  // (ingress, egress, CPU, aggregation slots) on shard s % shards — and run
+  // them under the conservative lookahead-window coordinator
+  // (src/sim/shard_coordinator.h). 0 (default) = the serial single-Simulator
+  // path. Results are bit-identical for any shards >= 1 (`shards == 1` is the
+  // single-threaded oracle baseline); the serial path keeps its own legacy
+  // event order, which differs slightly (acks and aggregation notifications
+  // become explicit control messages in sharded mode). Requires a
+  // latency-bearing transport (the lookahead must be positive), a null
+  // `trace` (metrics are fine — they are commutative sums), and no shared
+  // co-scheduled infrastructure.
+  int shards = 0;
+
   int warmup_iters = 2;
   int measure_iters = 6;
 

@@ -1,0 +1,256 @@
+#include "src/sim/event_queue.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace bsched {
+
+std::unique_ptr<EventQueue> MakeEventQueue(QueuePolicy policy) {
+  switch (policy) {
+    case QueuePolicy::kTimerWheel:
+      return std::make_unique<TimerWheelEventQueue>();
+    case QueuePolicy::kBinaryHeap:
+      return std::make_unique<HeapEventQueue>();
+  }
+  BSCHED_CHECK(false);  // unknown queue policy
+  return nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// HeapEventQueue
+
+void HeapEventQueue::Push(const EventEntry& entry) {
+  heap_.push_back(entry);
+  std::push_heap(heap_.begin(), heap_.end(), EventAfter());
+}
+
+bool HeapEventQueue::PeekEarliest(EventEntry* out) {
+  if (heap_.empty()) {
+    return false;
+  }
+  *out = heap_.front();
+  return true;
+}
+
+bool HeapEventQueue::PopEarliest(EventEntry* out) {
+  if (heap_.empty()) {
+    return false;
+  }
+  std::pop_heap(heap_.begin(), heap_.end(), EventAfter());
+  *out = heap_.back();
+  heap_.pop_back();
+  return true;
+}
+
+void HeapEventQueue::Compact(const std::function<bool(const EventEntry&)>& dead) {
+  heap_.erase(std::remove_if(heap_.begin(), heap_.end(), dead), heap_.end());
+  std::make_heap(heap_.begin(), heap_.end(), EventAfter());
+}
+
+// ---------------------------------------------------------------------------
+// TimerWheelEventQueue
+
+void TimerWheelEventQueue::SetBit(int level, int idx) {
+  occupancy_[level][idx >> 6] |= uint64_t{1} << (idx & 63);
+}
+
+void TimerWheelEventQueue::ClearBit(int level, int idx) {
+  occupancy_[level][idx >> 6] &= ~(uint64_t{1} << (idx & 63));
+}
+
+bool TimerWheelEventQueue::BitSet(int level, int idx) const {
+  return (occupancy_[level][idx >> 6] >> (idx & 63)) & 1;
+}
+
+int TimerWheelEventQueue::FindOccupied(int level, int from) const {
+  if (from >= kSlotsPerLevel) {
+    return -1;
+  }
+  int word = from >> 6;
+  uint64_t bits = occupancy_[level][word] & (~uint64_t{0} << (from & 63));
+  while (true) {
+    if (bits != 0) {
+      return (word << 6) + __builtin_ctzll(bits);
+    }
+    if (++word == kWordsPerLevel) {
+      return -1;
+    }
+    bits = occupancy_[level][word];
+  }
+}
+
+void TimerWheelEventQueue::Place(const EventEntry& entry) {
+  const uint64_t when = static_cast<uint64_t>(entry.when.nanos());
+  if (when < horizon_) {
+    near_.push_back(entry);
+    std::push_heap(near_.begin(), near_.end(), EventAfter());
+    return;
+  }
+  // An entry parks at the lowest level whose ring reaches it: level l holds
+  // timestamps sharing the horizon's level-(l+1) granule. This "same upper
+  // granule" criterion (rather than a delta) is immune to lap-wrapping.
+  for (int level = 0; level < kLevels; ++level) {
+    const int above = LevelShift(level + 1);
+    if ((when >> above) == (horizon_ >> above)) {
+      const int idx = SlotIndex(when, level);
+      slots_[level][idx].push_back(entry);
+      SetBit(level, idx);
+      ++wheel_count_;
+      return;
+    }
+  }
+  overflow_.push_back(entry);
+}
+
+void TimerWheelEventQueue::Push(const EventEntry& entry) {
+  BSCHED_CHECK(entry.when.nanos() >= 0);
+  Place(entry);
+  ++size_;
+}
+
+void TimerWheelEventQueue::CascadeSlot(int level, int idx) {
+  std::vector<EventEntry>& slot = slots_[level][idx];
+  BSCHED_CHECK(!slot.empty());
+  // Swap out first: Place() may legitimately re-file into lower slots but
+  // must never see the slot being drained in an intermediate state.
+  std::vector<EventEntry> moved;
+  moved.swap(slot);
+  ClearBit(level, idx);
+  wheel_count_ -= moved.size();
+  for (const EventEntry& e : moved) {
+    Place(e);
+  }
+  moved.clear();
+  // Hand the emptied buffer back so steady-state cascades do not reallocate.
+  if (slot.capacity() < moved.capacity()) {
+    slot.swap(moved);
+  }
+}
+
+void TimerWheelEventQueue::Normalize() {
+  // When the horizon crosses into a fresh upper-level granule (a lower ring
+  // wrapped), the slot under the new cursor may still hold entries filed
+  // before the crossing. Cascade those before any horizon advance, top level
+  // first so payloads chain down through every intermediate ring; otherwise
+  // a later advance could leap past them. Freshly pushed entries never land
+  // on a level>=1 cursor slot (the same-granule test would have placed them
+  // lower), so this terminates after one top-down sweep.
+  for (int level = kLevels - 1; level >= 1; --level) {
+    const int idx = SlotIndex(horizon_, level);
+    if (BitSet(level, idx)) {
+      CascadeSlot(level, idx);
+    }
+  }
+}
+
+void TimerWheelEventQueue::AdvanceToNext() {
+  while (near_.empty()) {
+    if (wheel_count_ == 0) {
+      if (overflow_.empty()) {
+        return;  // queue truly drained (size_ == 0)
+      }
+      // Idle-advance fast path: leap the horizon straight to the earliest
+      // overflow entry's top-level window, then refile the pen.
+      uint64_t min_when = static_cast<uint64_t>(overflow_[0].when.nanos());
+      for (const EventEntry& e : overflow_) {
+        min_when = std::min(min_when, static_cast<uint64_t>(e.when.nanos()));
+      }
+      const int top = LevelShift(kLevels);
+      horizon_ = (min_when >> top) << top;
+      std::vector<EventEntry> pen;
+      pen.swap(overflow_);
+      for (const EventEntry& e : pen) {
+        Place(e);
+      }
+      continue;
+    }
+    Normalize();
+    const int cursor0 = SlotIndex(horizon_, 0);
+    const int idx0 = FindOccupied(0, cursor0);
+    if (idx0 >= 0) {
+      // Batched dequeue: the whole 256ns slot drains into near_ in one go.
+      std::vector<EventEntry>& slot = slots_[0][idx0];
+      for (const EventEntry& e : slot) {
+        near_.push_back(e);
+        std::push_heap(near_.begin(), near_.end(), EventAfter());
+      }
+      wheel_count_ -= slot.size();
+      slot.clear();
+      ClearBit(0, idx0);
+      const uint64_t base = (horizon_ >> LevelShift(1)) << LevelShift(1);
+      horizon_ = base + ((static_cast<uint64_t>(idx0) + 1) << kShift0);
+      continue;
+    }
+    // Level-0 ring exhausted: jump to the next occupied slot at the lowest
+    // level that has one (slots below the cursor cannot be occupied — every
+    // resident timestamp is >= horizon within the shared upper granule).
+    bool jumped = false;
+    for (int level = 1; level < kLevels; ++level) {
+      const int idx = FindOccupied(level, SlotIndex(horizon_, level));
+      if (idx >= 0) {
+        const int shift = LevelShift(level);
+        const int above = LevelShift(level + 1);
+        horizon_ = ((horizon_ >> above) << above) |
+                   (static_cast<uint64_t>(idx) << shift);
+        CascadeSlot(level, idx);
+        jumped = true;
+        break;
+      }
+    }
+    BSCHED_CHECK(jumped);  // else wheel_count_ disagrees with the bitmaps
+  }
+}
+
+bool TimerWheelEventQueue::PeekEarliest(EventEntry* out) {
+  if (near_.empty()) {
+    AdvanceToNext();
+    if (near_.empty()) {
+      return false;
+    }
+  }
+  *out = near_.front();
+  return true;
+}
+
+bool TimerWheelEventQueue::PopEarliest(EventEntry* out) {
+  if (!PeekEarliest(out)) {
+    return false;
+  }
+  std::pop_heap(near_.begin(), near_.end(), EventAfter());
+  near_.pop_back();
+  --size_;
+  return true;
+}
+
+void TimerWheelEventQueue::Compact(const std::function<bool(const EventEntry&)>& dead) {
+  std::vector<EventEntry> survivors;
+  survivors.reserve(size_);
+  auto keep = [&](std::vector<EventEntry>& from) {
+    for (EventEntry& e : from) {
+      if (!dead(e)) {
+        survivors.push_back(e);
+      }
+    }
+    from.clear();
+  };
+  keep(near_);
+  for (int level = 0; level < kLevels; ++level) {
+    for (int idx = 0; idx < kSlotsPerLevel; ++idx) {
+      if (!slots_[level][idx].empty()) {
+        keep(slots_[level][idx]);
+      }
+    }
+    for (int word = 0; word < kWordsPerLevel; ++word) {
+      occupancy_[level][word] = 0;
+    }
+  }
+  keep(overflow_);
+  wheel_count_ = 0;
+  size_ = survivors.size();
+  for (const EventEntry& e : survivors) {
+    Place(e);
+  }
+}
+
+}  // namespace bsched

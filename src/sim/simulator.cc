@@ -8,7 +8,7 @@ namespace bsched {
 namespace {
 
 // Compaction triggers when stale (cancelled) entries outnumber live ones and
-// the heap is large enough for the rebuild to pay for itself.
+// the queue is large enough for the rebuild to pay for itself.
 constexpr size_t kCompactMinEntries = 64;
 
 }  // namespace
@@ -36,17 +36,9 @@ EventHandle Simulator::ScheduleAt(SimTime when, EventFn fn) {
   }
   Slot& s = slots_[slot];
   s.fn = std::move(fn);
-  heap_.push_back(Entry{when, next_seq_++, s.generation, slot});
-  std::push_heap(heap_.begin(), heap_.end(), Later());
+  queue_->Push(EventEntry{when, next_seq_++, s.generation, slot});
   ++live_;
   return EventHandle(this, slot, s.generation);
-}
-
-Simulator::Entry Simulator::PopTop() {
-  std::pop_heap(heap_.begin(), heap_.end(), Later());
-  Entry e = heap_.back();
-  heap_.pop_back();
-  return e;
 }
 
 void Simulator::ReleaseSlot(uint32_t slot) {
@@ -56,7 +48,7 @@ void Simulator::ReleaseSlot(uint32_t slot) {
   free_slots_.push_back(slot);
 }
 
-void Simulator::Fire(const Entry& e) {
+void Simulator::Fire(const EventEntry& e) {
   // Move the callback out and release the slot first: the callback may
   // schedule new events, which can reuse this slot or grow the slot table.
   EventFn fn = std::move(slots_[e.slot].fn);
@@ -77,19 +69,16 @@ void Simulator::CancelEvent(uint32_t slot, uint64_t generation) {
 }
 
 void Simulator::MaybeCompact() {
-  if (heap_.size() < kCompactMinEntries || heap_.size() < 2 * live_) {
+  if (queue_->size() < kCompactMinEntries || queue_->size() < 2 * live_) {
     return;
   }
-  heap_.erase(std::remove_if(heap_.begin(), heap_.end(),
-                             [this](const Entry& e) { return !EntryLive(e); }),
-              heap_.end());
-  std::make_heap(heap_.begin(), heap_.end(), Later());
+  queue_->Compact([this](const EventEntry& e) { return !EntryLive(e); });
   ++compactions_;
 }
 
 bool Simulator::Step() {
-  while (!heap_.empty()) {
-    Entry e = PopTop();
+  EventEntry e;
+  while (queue_->PopEarliest(&e)) {
     if (!EntryLive(e)) {
       ++skipped_cancelled_;
       continue;
@@ -100,20 +89,38 @@ bool Simulator::Step() {
   return false;
 }
 
+bool Simulator::NextEventTime(SimTime* when) {
+  EventEntry e;
+  while (queue_->PeekEarliest(&e)) {
+    if (EntryLive(e)) {
+      *when = e.when;
+      return true;
+    }
+    queue_->PopEarliest(&e);
+    ++skipped_cancelled_;
+  }
+  return false;
+}
+
 uint64_t Simulator::Run(SimTime deadline) {
   uint64_t count = 0;
-  while (!heap_.empty()) {
+  EventEntry e;
+  while (queue_->PeekEarliest(&e)) {
     // Discard cancelled entries here rather than firing past them: a
-    // cancelled head must not let an event beyond `deadline` fire.
-    if (!EntryLive(heap_.front())) {
-      PopTop();
+    // cancelled head must not let an event beyond `deadline` fire. Each
+    // discarded entry is popped (and counted) exactly once, even when the
+    // deadline lands in the middle of a compaction-heavy stretch —
+    // compaction only ever removes entries that were never popped.
+    if (!EntryLive(e)) {
+      queue_->PopEarliest(&e);
       ++skipped_cancelled_;
       continue;
     }
-    if (heap_.front().when > deadline) {
+    if (e.when > deadline) {
       break;
     }
-    Fire(PopTop());
+    queue_->PopEarliest(&e);
+    Fire(e);
     ++count;
   }
   return count;

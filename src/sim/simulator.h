@@ -2,25 +2,31 @@
 // GPU compute streams, PS shards, the ring) advance by scheduling callbacks
 // on one Simulator instance, which makes every experiment deterministic.
 // Distinct Simulator instances share nothing, so independent simulations can
-// run on separate threads (see src/exec/sweep_runner.h).
+// run on separate threads (see src/exec/sweep_runner.h and the sharded
+// parallel-DES coordinator in src/sim/shard_coordinator.h).
 //
 // Hot-path design: events live in a pooled slot table (reused across the
 // run, so steady-state scheduling allocates nothing), callbacks are stored
 // in a small-buffer-optimized EventFn (no per-event std::function heap
 // allocation), and cancellation is a slot-generation check instead of a
 // per-event shared_ptr control block. Cancelled entries still queued are
-// lazily skipped, and the queue is compacted when they pile up.
+// lazily skipped, and the queue is compacted when they pile up. Entry
+// ordering is delegated to a pluggable EventQueue policy (timer wheel by
+// default, binary heap as the differential baseline); both produce
+// bit-identical event trajectories.
 #ifndef SRC_SIM_SIMULATOR_H_
 #define SRC_SIM_SIMULATOR_H_
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <new>
 #include <type_traits>
 #include <utility>
 #include <vector>
 
 #include "src/common/units.h"
+#include "src/sim/event_queue.h"
 
 namespace bsched {
 
@@ -149,7 +155,8 @@ class EventHandle {
 
 class Simulator {
  public:
-  Simulator() = default;
+  explicit Simulator(QueuePolicy policy = QueuePolicy::kTimerWheel)
+      : queue_(MakeEventQueue(policy)) {}
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
@@ -169,13 +176,18 @@ class Simulator {
   // Fires the single earliest pending event. Returns false if queue is empty.
   bool Step();
 
+  // Timestamp of the earliest live event, or false when none remain. Pops
+  // (and counts) cancelled heads along the way, exactly as Run() would; the
+  // shard coordinator uses this to compute lookahead windows.
+  bool NextEventTime(SimTime* when);
+
   // True when no live (non-cancelled, not-yet-fired) events remain.
   bool Empty() const { return live_ == 0; }
   // Live events: scheduled, not cancelled, not yet fired.
   size_t PendingEvents() const { return live_; }
   // Raw queue entries, including cancelled events not yet reclaimed; equals
   // PendingEvents() after compaction. Debugging / test hook.
-  size_t QueuedEvents() const { return heap_.size(); }
+  size_t QueuedEvents() const { return queue_->size(); }
   // Slots ever allocated; stays flat under steady-state churn (pool reuse).
   size_t AllocatedSlots() const { return slots_.size(); }
   uint64_t processed_events() const { return processed_; }
@@ -190,32 +202,17 @@ class Simulator {
     uint64_t generation = 0;
     EventFn fn;
   };
-  // 32 bytes; the heap permutes these, not the callbacks.
-  struct Entry {
-    SimTime when;
-    uint64_t seq;
-    uint64_t generation;
-    uint32_t slot;
-  };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.when != b.when) {
-        return a.when > b.when;
-      }
-      return a.seq > b.seq;
-    }
-  };
 
-  bool EntryLive(const Entry& e) const { return slots_[e.slot].generation == e.generation; }
-  // Pops the top entry off the heap and returns it.
-  Entry PopTop();
+  bool EntryLive(const EventEntry& e) const {
+    return slots_[e.slot].generation == e.generation;
+  }
   // Fires `e`, which must be live: releases its slot, advances time, runs fn.
-  void Fire(const Entry& e);
+  void Fire(const EventEntry& e);
   // Advances the slot's generation (invalidating queued entries and handles)
   // and returns it to the free list.
   void ReleaseSlot(uint32_t slot);
   void CancelEvent(uint32_t slot, uint64_t generation);
-  // Rebuilds the heap without stale entries once they dominate it.
+  // Rebuilds the queue without stale entries once they dominate it.
   void MaybeCompact();
 
   SimTime now_;
@@ -224,7 +221,7 @@ class Simulator {
   uint64_t compactions_ = 0;
   uint64_t skipped_cancelled_ = 0;
   size_t live_ = 0;
-  std::vector<Entry> heap_;  // binary min-heap via std::*_heap with Later
+  std::unique_ptr<EventQueue> queue_;
   std::vector<Slot> slots_;
   std::vector<uint32_t> free_slots_;
 };

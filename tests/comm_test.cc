@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <functional>
+#include <tuple>
 #include <vector>
 
 #include "src/comm/allreduce_backend.h"
@@ -165,14 +166,17 @@ TEST(PsBackendTest, ControlLatencyDelaysAck) {
 TEST(PsBackendTest, AggregationListenerFires) {
   Simulator sim;
   PsBackend ps(&sim, IdealPs(2, 1));
-  std::vector<std::pair<int, int>> aggregated;
-  ps.AddAggregationListener(
-      [&](int64_t tensor, int partition) { aggregated.emplace_back(static_cast<int>(tensor), partition); });
+  std::vector<std::tuple<int, int, int>> aggregated;
+  ps.AddAggregationListener([&](int64_t tensor, int partition, int worker) {
+    aggregated.emplace_back(static_cast<int>(tensor), partition, worker);
+  });
   ps.Start(MakeSub(0, 3, 1, MiB(1), CommOpType::kPush), [] {});
   ps.Start(MakeSub(1, 3, 1, MiB(1), CommOpType::kPush), [] {});
   sim.Run();
-  ASSERT_EQ(aggregated.size(), 1u);
-  EXPECT_EQ(aggregated[0], (std::pair<int, int>{3, 1}));
+  // One notification per worker, in worker order.
+  ASSERT_EQ(aggregated.size(), 2u);
+  EXPECT_EQ(aggregated[0], (std::tuple<int, int, int>{3, 1, 0}));
+  EXPECT_EQ(aggregated[1], (std::tuple<int, int, int>{3, 1, 1}));
 }
 
 AllReduceConfig IdealRing(int workers) {

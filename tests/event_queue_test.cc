@@ -1,0 +1,292 @@
+// Differential tests for the event-queue policies: the timer wheel and the
+// legacy binary heap must be observationally identical, both at the raw
+// EventQueue level (pop order of arbitrary entry mixes, including cancelled
+// entries and far-future timers) and at the Simulator level (fired-callback
+// order, PendingEvents/QueuedEvents accounting, skip/compaction counters)
+// under randomized schedule/cancel/compact workloads.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/units.h"
+#include "src/sim/event_queue.h"
+#include "src/sim/simulator.h"
+
+namespace bsched {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Raw queue level: both policies must yield the exact same entry stream.
+
+std::vector<EventEntry> DrainAll(EventQueue* q) {
+  std::vector<EventEntry> out;
+  EventEntry e;
+  while (q->PopEarliest(&e)) {
+    out.push_back(e);
+  }
+  return out;
+}
+
+void ExpectSameStream(const std::vector<EventEntry>& a,
+                      const std::vector<EventEntry>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].when.nanos(), b[i].when.nanos()) << "at index " << i;
+    EXPECT_EQ(a[i].seq, b[i].seq) << "at index " << i;
+    EXPECT_EQ(a[i].slot, b[i].slot) << "at index " << i;
+  }
+}
+
+TEST(EventQueueDifferentialTest, RandomizedInterleavedPushPop) {
+  for (uint64_t seed = 0; seed < 8; ++seed) {
+    Rng rng(seed * 1000003 + 17);
+    HeapEventQueue heap;
+    TimerWheelEventQueue wheel;
+    uint64_t seq = 0;
+    std::vector<EventEntry> heap_popped, wheel_popped;
+    int64_t low_water = 0;  // pops advance time; pushes must not go backwards
+    for (int op = 0; op < 20000; ++op) {
+      if (rng.NextDouble() < 0.6 || heap.size() == 0) {
+        // Mix of near (ns..us), far (ms), and very far (minutes+) timers, the
+        // last landing beyond the wheel's 2^40ns span to force overflow.
+        int64_t when;
+        const double r = rng.NextDouble();
+        if (r < 0.70) {
+          when = low_water + rng.UniformInt(0, 4000);
+        } else if (r < 0.90) {
+          when = low_water + rng.UniformInt(0, 50'000'000);
+        } else {
+          when = low_water + rng.UniformInt(0, int64_t{1} << 42);
+        }
+        EventEntry e{SimTime::Nanos(when), seq, seq, static_cast<uint32_t>(seq)};
+        ++seq;
+        heap.Push(e);
+        wheel.Push(e);
+      } else {
+        EventEntry he, we;
+        ASSERT_TRUE(heap.PopEarliest(&he));
+        ASSERT_TRUE(wheel.PopEarliest(&we));
+        EXPECT_EQ(he.when.nanos(), we.when.nanos());
+        EXPECT_EQ(he.seq, we.seq);
+        low_water = he.when.nanos();
+        heap_popped.push_back(he);
+        wheel_popped.push_back(we);
+      }
+      ASSERT_EQ(heap.size(), wheel.size());
+    }
+    auto heap_rest = DrainAll(&heap);
+    auto wheel_rest = DrainAll(&wheel);
+    ExpectSameStream(heap_popped, wheel_popped);
+    ExpectSameStream(heap_rest, wheel_rest);
+  }
+}
+
+TEST(EventQueueDifferentialTest, SameTimestampTiesPopInSeqOrder) {
+  HeapEventQueue heap;
+  TimerWheelEventQueue wheel;
+  // Many entries at identical timestamps, pushed out of seq order.
+  std::vector<uint64_t> seqs;
+  for (uint64_t s = 0; s < 64; ++s) {
+    seqs.push_back(s);
+  }
+  Rng rng(7);
+  for (size_t i = seqs.size(); i > 1; --i) {
+    std::swap(seqs[i - 1], seqs[rng.UniformInt(0, static_cast<int64_t>(i) - 1)]);
+  }
+  for (uint64_t s : seqs) {
+    EventEntry e{SimTime::Micros(5), s, 0, static_cast<uint32_t>(s)};
+    heap.Push(e);
+    wheel.Push(e);
+  }
+  auto hp = DrainAll(&heap);
+  auto wp = DrainAll(&wheel);
+  ASSERT_EQ(hp.size(), 64u);
+  for (uint64_t s = 0; s < 64; ++s) {
+    EXPECT_EQ(hp[s].seq, s);
+    EXPECT_EQ(wp[s].seq, s);
+  }
+}
+
+TEST(EventQueueDifferentialTest, CompactDropsExactlyDeadEntries) {
+  for (uint64_t seed = 0; seed < 4; ++seed) {
+    Rng rng(seed + 99);
+    HeapEventQueue heap;
+    TimerWheelEventQueue wheel;
+    std::vector<bool> dead;
+    for (uint64_t s = 0; s < 3000; ++s) {
+      int64_t when = rng.UniformInt(0, int64_t{1} << 41);  // spans all levels
+      EventEntry e{SimTime::Nanos(when), s, 0, static_cast<uint32_t>(s)};
+      heap.Push(e);
+      wheel.Push(e);
+      dead.push_back(rng.NextDouble() < 0.7);
+    }
+    auto is_dead = [&dead](const EventEntry& e) { return dead[e.seq]; };
+    heap.Compact(is_dead);
+    wheel.Compact(is_dead);
+    ASSERT_EQ(heap.size(), wheel.size());
+    auto hp = DrainAll(&heap);
+    auto wp = DrainAll(&wheel);
+    ExpectSameStream(hp, wp);
+    for (const EventEntry& e : hp) {
+      EXPECT_FALSE(dead[e.seq]);
+    }
+  }
+}
+
+TEST(EventQueueDifferentialTest, PeekMatchesPopAndDoesNotConsume) {
+  HeapEventQueue heap;
+  TimerWheelEventQueue wheel;
+  Rng rng(42);
+  for (uint64_t s = 0; s < 500; ++s) {
+    EventEntry e{SimTime::Nanos(rng.UniformInt(0, 10'000'000)), s, 0,
+                 static_cast<uint32_t>(s)};
+    heap.Push(e);
+    wheel.Push(e);
+  }
+  EventEntry pk, pp;
+  while (wheel.size() > 0) {
+    ASSERT_TRUE(wheel.PeekEarliest(&pk));
+    ASSERT_TRUE(wheel.PeekEarliest(&pp));  // repeated peek: same entry
+    EXPECT_EQ(pk.seq, pp.seq);
+    const size_t before = wheel.size();
+    ASSERT_TRUE(wheel.PopEarliest(&pp));
+    EXPECT_EQ(pk.seq, pp.seq);
+    EXPECT_EQ(pk.when.nanos(), pp.when.nanos());
+    EXPECT_EQ(wheel.size(), before - 1);
+    EventEntry hh;
+    ASSERT_TRUE(heap.PopEarliest(&hh));
+    EXPECT_EQ(hh.seq, pp.seq);
+  }
+}
+
+// Regression guard for the horizon/normalize interplay: a dense run of
+// events right below a level boundary followed by one just above it must not
+// skip the entry parked in the upper level's cursor slot.
+TEST(EventQueueTest, WheelDoesNotSkipAcrossGranuleBoundaries) {
+  TimerWheelEventQueue wheel;
+  uint64_t seq = 0;
+  // Entry just past the 2^16 boundary (level-1 territory), then fill the
+  // level-0 ring right up to the boundary and drain everything.
+  std::vector<int64_t> whens = {(int64_t{1} << 16) + 10};
+  for (int64_t t = 0; t < (int64_t{1} << 16); t += 997) {
+    whens.push_back(t);
+  }
+  // And one far entry in level-2/3 land plus one in overflow.
+  whens.push_back((int64_t{1} << 33) + 5);
+  whens.push_back((int64_t{1} << 41) + 123);
+  for (int64_t w : whens) {
+    wheel.Push(EventEntry{SimTime::Nanos(w), seq++, 0, 0});
+  }
+  auto popped = DrainAll(&wheel);
+  ASSERT_EQ(popped.size(), whens.size());
+  std::sort(whens.begin(), whens.end());
+  for (size_t i = 0; i < whens.size(); ++i) {
+    EXPECT_EQ(popped[i].when.nanos(), whens[i]);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Simulator level: both policies drive identical event trajectories under a
+// randomized schedule/cancel/run workload, with identical accounting.
+
+struct SimScript {
+  // Records everything observable about one simulator run.
+  std::vector<int> fired;
+  std::vector<size_t> pending_after_op;
+  std::vector<size_t> queued_after_op;
+  uint64_t processed = 0;
+  uint64_t compactions = 0;
+  uint64_t skipped = 0;
+  int64_t final_now = 0;
+
+  bool operator==(const SimScript& o) const {
+    return fired == o.fired && pending_after_op == o.pending_after_op &&
+           queued_after_op == o.queued_after_op && processed == o.processed &&
+           compactions == o.compactions && skipped == o.skipped &&
+           final_now == o.final_now;
+  }
+};
+
+SimScript RunRandomWorkload(QueuePolicy policy, uint64_t seed) {
+  Simulator sim(policy);
+  Rng rng(seed);
+  SimScript script;
+  std::vector<EventHandle> handles;
+  int next_id = 0;
+  for (int op = 0; op < 4000; ++op) {
+    const double r = rng.NextDouble();
+    if (r < 0.45) {
+      // Schedule with a mix of tie-heavy, near, far, and overflow delays;
+      // the callback occasionally schedules a follow-up or cancels a peer.
+      int64_t delay;
+      const double d = rng.NextDouble();
+      if (d < 0.3) {
+        delay = 100;  // deliberate same-timestamp ties
+      } else if (d < 0.8) {
+        delay = rng.UniformInt(0, 100'000);
+      } else if (d < 0.95) {
+        delay = rng.UniformInt(0, 40'000'000);
+      } else {
+        delay = rng.UniformInt(int64_t{1} << 40, int64_t{1} << 42);
+      }
+      const int id = next_id++;
+      const bool chain = rng.NextDouble() < 0.25;
+      handles.push_back(sim.Schedule(SimTime::Nanos(delay), [&script, &sim, id, chain] {
+        script.fired.push_back(id);
+        if (chain) {
+          const int sub = -id - 1;
+          sim.Schedule(SimTime::Nanos(50), [&script, sub] { script.fired.push_back(sub); });
+        }
+      }));
+    } else if (r < 0.75 && !handles.empty()) {
+      handles[rng.UniformInt(0, static_cast<int64_t>(handles.size()) - 1)].Cancel();
+    } else if (r < 0.9) {
+      sim.Step();
+    } else {
+      // Bounded run: deadline a little past now, so some events fire and the
+      // rest stay queued.
+      sim.Run(sim.Now() + SimTime::Nanos(rng.UniformInt(0, 200'000)));
+    }
+    script.pending_after_op.push_back(sim.PendingEvents());
+    script.queued_after_op.push_back(sim.QueuedEvents());
+  }
+  sim.Run();
+  script.processed = sim.processed_events();
+  script.compactions = sim.compactions();
+  script.skipped = sim.skipped_cancelled();
+  script.final_now = sim.Now().nanos();
+  EXPECT_TRUE(sim.Empty());
+  EXPECT_EQ(sim.PendingEvents(), 0u);
+  return script;
+}
+
+TEST(SimulatorDifferentialTest, PoliciesProduceIdenticalTrajectories) {
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    SimScript wheel = RunRandomWorkload(QueuePolicy::kTimerWheel, seed);
+    SimScript heap = RunRandomWorkload(QueuePolicy::kBinaryHeap, seed);
+    EXPECT_TRUE(wheel == heap) << "divergence at seed " << seed;
+  }
+}
+
+TEST(SimulatorDifferentialTest, CancellationSemanticsMatch) {
+  for (QueuePolicy policy : {QueuePolicy::kTimerWheel, QueuePolicy::kBinaryHeap}) {
+    Simulator sim(policy);
+    int fired = 0;
+    EventHandle h = sim.Schedule(SimTime::Micros(10), [&] { ++fired; });
+    sim.Schedule(SimTime::Micros(20), [&] { ++fired; });
+    h.Cancel();
+    h.Cancel();  // idempotent
+    EXPECT_EQ(sim.PendingEvents(), 1u);
+    EXPECT_EQ(sim.QueuedEvents(), 2u);  // cancelled entry still queued (lazy)
+    sim.Run();
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(sim.skipped_cancelled(), 1u);
+  }
+}
+
+}  // namespace
+}  // namespace bsched

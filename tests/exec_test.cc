@@ -18,8 +18,11 @@
 #include "src/exec/sweep_runner.h"
 #include "src/exec/thread_pool.h"
 #include "src/model/zoo.h"
+#include "src/obs/metrics.h"
 #include "src/tuning/auto_tuner.h"
 #include "src/tuning/search.h"
+
+#include <sstream>
 
 namespace bsched {
 namespace {
@@ -236,6 +239,109 @@ TEST(ParallelGridTest, ScalingGridIsBitIdenticalAcrossWorkerCounts) {
       EXPECT_EQ(std::memcmp(&a.p3, &b.p3, sizeof(double)), 0) << s << "," << c;
     }
   }
+}
+
+// ---- sharded parallel-DES determinism oracle ------------------------------
+//
+// JobConfig::shards > 0 runs a PS job on a ShardCoordinator: K simulators
+// advancing in lookahead windows with cross-shard messages merged at barriers
+// in a fixed order. The contract is that the trajectory depends only on
+// whether the job is sharded, never on K — so every observable below must be
+// bit-identical between --shards 1 and --shards N.
+
+JobConfig ShardedOracleJob(int shards) {
+  JobConfig job = bench::WithMode(
+      bench::MakeJob(Vgg16(), Setup::MxnetPsTcp(), /*num_machines=*/3, Bandwidth::Gbps(10)),
+      SchedMode::kByteScheduler);
+  job.warmup_iters = 1;
+  job.measure_iters = 2;
+  job.shards = shards;
+  return job;
+}
+
+void ExpectBitIdentical(const JobResult& a, const JobResult& b) {
+  EXPECT_EQ(std::memcmp(&a.samples_per_sec, &b.samples_per_sec, sizeof(double)), 0);
+  EXPECT_EQ(a.avg_iter_time, b.avg_iter_time);
+  EXPECT_EQ(std::memcmp(&a.shard_load_imbalance, &b.shard_load_imbalance, sizeof(double)), 0);
+  EXPECT_EQ(a.sim_events, b.sim_events);
+  EXPECT_EQ(a.subtasks_started, b.subtasks_started);
+  EXPECT_EQ(a.subtasks_abandoned, b.subtasks_abandoned);
+  ASSERT_EQ(a.iter_end_times.size(), b.iter_end_times.size());
+  for (size_t i = 0; i < a.iter_end_times.size(); ++i) {
+    EXPECT_EQ(a.iter_end_times[i], b.iter_end_times[i]) << "iter " << i;
+  }
+}
+
+TEST(ShardedDeterminismTest, ResultsAreBitIdenticalAcrossShardCounts) {
+  const JobResult one = RunTrainingJob(ShardedOracleJob(1));
+  EXPECT_GT(one.samples_per_sec, 0.0);
+  // 8 shards exceeds the 3-worker entity count: surplus shards idle at every
+  // barrier but must not perturb the merge order.
+  for (int shards : {2, 3, 8}) {
+    SCOPED_TRACE("shards=" + std::to_string(shards));
+    ExpectBitIdentical(one, RunTrainingJob(ShardedOracleJob(shards)));
+  }
+}
+
+TEST(ShardedDeterminismTest, ShardedSpeedTracksSerialSpeed) {
+  // The sharded path deliberately turns PS acks/aggregation notifications
+  // into explicit control messages, so it is NOT bit-identical to the serial
+  // single-Simulator path — but the physics are the same control_latency, so
+  // steady-state speed must stay within a few percent.
+  JobConfig serial = ShardedOracleJob(1);
+  serial.shards = 0;
+  const double serial_speed = RunTrainingJob(serial).samples_per_sec;
+  const double sharded_speed = RunTrainingJob(ShardedOracleJob(1)).samples_per_sec;
+  EXPECT_GT(serial_speed, 0.0);
+  EXPECT_NEAR(sharded_speed / serial_speed, 1.0, 0.10);
+}
+
+TEST(ShardedDeterminismTest, MetricsSnapshotIsByteIdenticalAcrossShardCounts) {
+  // The exported metrics snapshot (counters only — assignment-variant gauges
+  // are excluded in sharded mode) must serialize to the same bytes.
+  auto snapshot_json = [](int shards) {
+    MetricsRegistry metrics;
+    JobConfig job = ShardedOracleJob(shards);
+    job.metrics = &metrics;
+    RunTrainingJob(job);
+    std::ostringstream out;
+    metrics.Snapshot().WriteJson(out);
+    return out.str();
+  };
+  const std::string one = snapshot_json(1);
+  EXPECT_FALSE(one.empty());
+  EXPECT_EQ(one, snapshot_json(3));
+}
+
+TEST(ShardedDeterminismTest, Fig04StyleGridIsByteIdenticalAcrossShardCounts) {
+  // A miniature of bench/fig04_partition_credit.cc's sweep: the figure CSV a
+  // user would regenerate with --shards must not depend on the shard count.
+  auto grid_csv = [](int shards) {
+    std::ostringstream csv;
+    csv << "partition_kb,img_per_sec\n";
+    for (Bytes p : {KiB(160), KiB(320), KiB(640)}) {
+      JobConfig job = bench::MakeJob(Vgg16(), Setup::MxnetPsTcp(), /*num_machines=*/2,
+                                     Bandwidth::Gbps(10));
+      job.mode = SchedMode::kByteScheduler;
+      SchedulerConfig cfg;
+      cfg.policy = SchedulerConfig::Policy::kFifo;
+      cfg.partition_bytes = p;
+      cfg.credit_bytes = 8 * p;
+      job.sched_override = cfg;
+      job.warmup_iters = 1;
+      job.measure_iters = 2;
+      job.shards = shards;
+      char row[96];
+      std::snprintf(row, sizeof(row), "%llu,%.17g\n",
+                    static_cast<unsigned long long>(p / 1024),
+                    RunTrainingJob(job).samples_per_sec);
+      csv << row;
+    }
+    return csv.str();
+  };
+  const std::string one = grid_csv(1);
+  EXPECT_NE(one.find("img_per_sec"), std::string::npos);
+  EXPECT_EQ(one, grid_csv(2));
 }
 
 }  // namespace

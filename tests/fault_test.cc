@@ -321,7 +321,7 @@ TEST(PsRetransmitTest, LostPushDataLegIsRetransmittedAndDeduped) {
   PsBackend ps(&sim, cfg);
 
   int aggregations = 0;
-  ps.AddAggregationListener([&](int64_t, int) { ++aggregations; });
+  ps.AddAggregationListener([&](int64_t, int, int) { ++aggregations; });
 
   SubCommTask push;
   push.worker = 0;
@@ -407,12 +407,10 @@ HarnessOutcome RunPsChaosHarness(const FaultPlanConfig& plan_cfg, int rounds) {
 
   std::vector<std::vector<CommTaskId>> pull_ids(kWorkers,
                                                 std::vector<CommTaskId>(kLayers, kInvalidCommTask));
-  ps.AddAggregationListener([&](int64_t tensor_id, int partition) {
-    for (int w = 0; w < kWorkers; ++w) {
-      const CommTaskId id = pull_ids[w][tensor_id];
-      if (id != kInvalidCommTask) {
-        cores[w]->NotifyReadyPartition(id, partition);
-      }
+  ps.AddAggregationListener([&](int64_t tensor_id, int partition, int w) {
+    const CommTaskId id = pull_ids[w][tensor_id];
+    if (id != kInvalidCommTask) {
+      cores[w]->NotifyReadyPartition(id, partition);
     }
   });
 
@@ -671,6 +669,48 @@ TEST(ChaosZeroCostTest, EmptyPlanMatchesFaultFreeRunExactly) {
   EXPECT_FALSE(armed.fault_stats.any_injected());
   EXPECT_EQ(armed.fault_stats.core_timeouts, 0u);
   EXPECT_GT(armed.fault_stats.messages_seen, 0u);  // the hooks did run
+}
+
+// ---- sharded chaos determinism --------------------------------------------
+//
+// Under the sharded coordinator a retransmission's timeout timer lives on the
+// worker's shard while the ack it races lives on the PS shard, so fault
+// recovery regularly crosses the lookahead barrier. The injected plan, every
+// recovery counter, and the full timing trajectory must still be independent
+// of the shard count.
+
+TEST(ChaosShardBoundaryTest, RecoveryIsBitIdenticalAcrossShardCounts) {
+  for (uint64_t seed = 1; seed <= 4; ++seed) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    JobConfig job = ChaosJobConfig(Setup::MxnetPsRdma(), seed);
+    job.shards = 1;
+    const JobResult one = RunTrainingJob(job);
+    job.shards = 2;
+    const JobResult two = RunTrainingJob(job);
+
+    ExpectRecovered(one);
+    ExpectRecovered(two);
+    EXPECT_EQ(one.sim_events, two.sim_events);
+    EXPECT_EQ(one.avg_iter_time, two.avg_iter_time);
+    ASSERT_EQ(one.iter_end_times.size(), two.iter_end_times.size());
+    for (size_t i = 0; i < one.iter_end_times.size(); ++i) {
+      EXPECT_EQ(one.iter_end_times[i], two.iter_end_times[i]) << "iter " << i;
+    }
+    const FaultStats& a = one.fault_stats;
+    const FaultStats& b = two.fault_stats;
+    EXPECT_EQ(a.messages_seen, b.messages_seen);
+    EXPECT_EQ(a.drops_injected, b.drops_injected);
+    EXPECT_EQ(a.delays_injected, b.delays_injected);
+    EXPECT_EQ(a.delay_injected_total, b.delay_injected_total);
+    EXPECT_EQ(a.compute_slowdowns, b.compute_slowdowns);
+    EXPECT_EQ(a.shard_slowdowns, b.shard_slowdowns);
+    EXPECT_EQ(a.core_timeouts, b.core_timeouts);
+    EXPECT_EQ(a.core_retries, b.core_retries);
+    EXPECT_EQ(a.core_late_completions, b.core_late_completions);
+    EXPECT_EQ(a.core_abandoned, b.core_abandoned);
+    EXPECT_EQ(a.backend_retransmits, b.backend_retransmits);
+    EXPECT_EQ(a.credit_restored, b.credit_restored);
+  }
 }
 
 }  // namespace
