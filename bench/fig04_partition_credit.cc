@@ -58,5 +58,11 @@ int main(int argc, char** argv) {
   std::printf(
       "\nExpected shape: speed rises with partition size (per-partition overhead), more\n"
       "pronounced at 10 Gbps; speed rises with credit size (pipelining), then flattens.\n");
+  // --trace/--metrics/--timeseries/--obs: one representative cell (the
+  // 10 Gbps fabric of pane (b), where credit starvation is visible) rerun
+  // with the sinks attached — the fig04-style artifacts obs_report's
+  // --critical-path decomposition consumes.
+  bench::MaybeWriteObsArtifacts(
+      bench::MakeJob(Vgg16(), Setup::MxnetPsTcp(), 4, Bandwidth::Gbps(10)));
   return 0;
 }

@@ -104,5 +104,9 @@ int main(int argc, char** argv) {
   std::printf("Expected shape: tuned >= fixed >= baseline almost everywhere; fixed (1 Gbps\n"
               "parameters) degrades at high bandwidth; ResNet50 gains shrink as bandwidth\n"
               "grows while VGG16/Transformer gains persist.\n");
+  // --trace/--metrics/--timeseries/--obs: artifacts from the first pane's
+  // 10 Gbps cell, where the fixed-vs-tuned gap is widest.
+  bench::MaybeWriteObsArtifacts(
+      bench::MakeJob(Vgg16(), Setup::MxnetPsRdma(), 4, Bandwidth::Gbps(10)));
   return 0;
 }

@@ -133,5 +133,9 @@ int main(int argc, char** argv) {
   std::printf("Expected shape: BO reaches the optimum in fewer trials and with lower\n"
               "variance than random search and SGD-with-momentum; grid search is the\n"
               "deterministic worst case.\n");
+  // --trace/--metrics/--timeseries/--obs: artifacts from the first pane's
+  // job at the tuned operating point.
+  bench::MaybeWriteObsArtifacts(
+      bench::MakeJob(Vgg16(), Setup::MxnetPsRdma(), 4, Bandwidth::Gbps(100)));
   return 0;
 }

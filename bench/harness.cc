@@ -9,6 +9,7 @@
 #include "src/common/trace.h"
 #include "src/exec/sweep_runner.h"
 #include "src/obs/metrics.h"
+#include "src/obs/timeseries.h"
 
 namespace bsched {
 namespace bench {
@@ -155,13 +156,20 @@ void MaybeWriteObsArtifacts(const JobConfig& job) {
   }
   // One representative ByteScheduler run, executed serially on this thread:
   // the TraceRecorder is not thread-safe, so the figure sweeps above run
-  // uninstrumented and this rerun owns both sinks exclusively.
+  // uninstrumented and this rerun owns all sinks exclusively.
   TraceRecorder trace;
   MetricsRegistry metrics;
+  const bool want_timeseries = !g_obs_flags.timeseries_path.empty();
+  TimeSeriesRecorder timeseries(
+      &metrics, SimTime::Micros(g_obs_flags.sample_every_us > 0 ? g_obs_flags.sample_every_us
+                                                                : 100));
   JobConfig run = WithMode(job, SchedMode::kByteScheduler);
   run.shards = 0;  // trace sinks require the serial path
   run.trace = g_obs_flags.trace_path.empty() ? nullptr : &trace;
-  run.metrics = g_obs_flags.metrics_path.empty() ? nullptr : &metrics;
+  // The time-series recorder samples metric handles, so it implies metrics.
+  run.metrics =
+      g_obs_flags.metrics_path.empty() && !want_timeseries ? nullptr : &metrics;
+  run.timeseries = want_timeseries ? &timeseries : nullptr;
   RunTrainingJob(run);
   if (!g_obs_flags.trace_path.empty()) {
     std::ofstream out(g_obs_flags.trace_path);
@@ -173,6 +181,14 @@ void MaybeWriteObsArtifacts(const JobConfig& job) {
     std::ofstream out(g_obs_flags.metrics_path);
     metrics.Snapshot().WriteJson(out);
     std::printf("metrics artifact: %s\n", g_obs_flags.metrics_path.c_str());
+  }
+  if (want_timeseries) {
+    std::ofstream out(g_obs_flags.timeseries_path);
+    timeseries.WriteCsv(out);
+    std::printf("timeseries artifact: %s (%llu ticks @ %lldus)\n",
+                g_obs_flags.timeseries_path.c_str(),
+                static_cast<unsigned long long>(timeseries.total_ticks()),
+                static_cast<long long>(g_obs_flags.sample_every_us));
   }
 }
 

@@ -73,10 +73,11 @@ int InitBenchJobs(int argc, const char* const* argv);
 // K >= 1 (see JobConfig::shards).
 int BenchShards();
 
-// When InitBenchJobs saw --trace/--metrics/--obs: reruns `job` (forced to
-// ByteScheduler mode, serially — the trace sink is single-threaded) with the
-// observability sinks attached and writes the requested artifact files.
-// No-op otherwise. PrintScalingFigure calls this with its first
+// When InitBenchJobs saw --trace/--metrics/--timeseries/--sample-every/
+// --obs: reruns `job` (forced to ByteScheduler mode, serially — the trace
+// sink is single-threaded) with the observability sinks attached and writes
+// the requested artifact files (Chrome trace, metrics snapshot, sim-time
+// series CSV). No-op otherwise. PrintScalingFigure calls this with its first
 // (setup, GPU count) cell, so every figure binary emits artifacts for free.
 void MaybeWriteObsArtifacts(const JobConfig& job);
 

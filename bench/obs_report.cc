@@ -11,13 +11,28 @@
 //
 // Flags: --trace=PATH    Chrome trace JSON (as written by --trace)
 //        --metrics=PATH  metrics snapshot JSON (as written by --metrics)
+//        --timeseries=PATH  sim-time series CSV (as written by --timeseries);
+//                        prints the --timeline section (per scope/metric
+//                        aggregate of the sampled series)
+//        --timeline      synonym: implies --timeseries with its default path
+//        --critical-path replay the trace's flow arcs into a per-iteration
+//                        critical-path decomposition (compute / transport /
+//                        credit-wait / recovery) plus top-k stragglers
+//        --critical-path-csv=PATH  also export the decomposition as CSV
+//                        (one row per iteration; implies --critical-path)
+//        --top-k=N       straggler partitions to list (default 5)
+//        --trace-b=PATH  second trace from an identical run: verify every
+//                        span's track id is stable across the two runs
 //        --check         validate the artifacts instead of just printing:
 //                        exit 1 unless the trace contains at least one flow
-//                        arc crossing >= 3 tracks and the snapshot carries
-//                        the scheduler/link/fault acceptance metrics.
+//                        arc crossing >= 3 tracks, the snapshot carries the
+//                        scheduler/link/fault acceptance metrics, every
+//                        --critical-path iteration reaches --min-coverage
+//                        (default 0.95) and --trace-b track ids match.
 #include <algorithm>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -28,6 +43,7 @@
 
 #include "src/common/flags.h"
 #include "src/common/table.h"
+#include "src/obs/critical_path.h"
 #include "src/obs/json_lite.h"
 #include "src/obs/metrics.h"
 
@@ -171,6 +187,83 @@ bool LoadMetrics(const std::string& path, MetricsData* out) {
         }
       }
       out->histograms[name] = std::move(snap);
+    }
+  }
+  return true;
+}
+
+// ---- time-series CSV (as written by TimeSeriesRecorder) -------------------
+
+// Aggregate of one (scope, metric) series across all its ticks.
+struct SeriesAgg {
+  std::string kind;
+  uint64_t ticks = 0;
+  double last = 0.0;       // value at the final tick (counter/gauge/probe)
+  double peak = -1e300;    // max value across ticks
+  uint64_t count = 0;      // sketch: total observations across all windows
+  double peak_p99 = 0.0;   // sketch: worst per-window p99
+};
+
+struct TimelineData {
+  std::map<std::pair<std::string, std::string>, SeriesAgg> series;
+  int64_t first_ns = 0;
+  int64_t second_ns = 0;  // second distinct tick time (cadence = second-first)
+  int64_t last_ns = 0;
+  uint64_t rows = 0;
+};
+
+std::vector<std::string> SplitCsvRow(const std::string& line) {
+  std::vector<std::string> fields;
+  size_t start = 0;
+  while (true) {
+    const size_t comma = line.find(',', start);
+    if (comma == std::string::npos) {
+      fields.push_back(line.substr(start));
+      return fields;
+    }
+    fields.push_back(line.substr(start, comma - start));
+    start = comma + 1;
+  }
+}
+
+bool LoadTimeline(const std::string& path, TimelineData* out) {
+  std::string text;
+  if (!ReadFile(path, &text)) {
+    std::fprintf(stderr, "error: cannot read timeseries %s\n", path.c_str());
+    return false;
+  }
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line) || line.rfind("time_ns,scope,metric,kind,value", 0) != 0) {
+    std::fprintf(stderr, "error: %s is not a TimeSeriesRecorder CSV\n", path.c_str());
+    return false;
+  }
+  while (std::getline(in, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    const std::vector<std::string> f = SplitCsvRow(line);
+    if (f.size() < 10) {
+      std::fprintf(stderr, "error: malformed timeseries row: %s\n", line.c_str());
+      return false;
+    }
+    const int64_t time_ns = std::strtoll(f[0].c_str(), nullptr, 10);
+    if (out->rows == 0) {
+      out->first_ns = time_ns;
+    } else if (out->second_ns == 0 && time_ns > out->first_ns) {
+      out->second_ns = time_ns;
+    }
+    out->last_ns = std::max(out->last_ns, time_ns);
+    ++out->rows;
+    SeriesAgg& agg = out->series[{f[1], f[2]}];
+    agg.kind = f[3];
+    ++agg.ticks;
+    if (f[3] == "sketch") {
+      agg.count += static_cast<uint64_t>(std::strtoll(f[5].c_str(), nullptr, 10));
+      agg.peak_p99 = std::max(agg.peak_p99, std::strtod(f[9].c_str(), nullptr));
+    } else {
+      agg.last = std::strtod(f[4].c_str(), nullptr);
+      agg.peak = std::max(agg.peak, agg.last);
     }
   }
   return true;
@@ -405,6 +498,122 @@ void ReportMetrics(const MetricsData& metrics) {
   }
 }
 
+void ReportTimeline(const TimelineData& timeline) {
+  std::printf("-- timeline (sim-time series) --\n");
+  const int64_t cadence =
+      timeline.second_ns > timeline.first_ns ? timeline.second_ns - timeline.first_ns : 0;
+  std::printf("%llu rows, %zu series, sim time %.3f..%.3f ms, cadence %.1f us\n",
+              static_cast<unsigned long long>(timeline.rows), timeline.series.size(),
+              static_cast<double>(timeline.first_ns) / 1e6,
+              static_cast<double>(timeline.last_ns) / 1e6, static_cast<double>(cadence) / 1e3);
+  Table table({"scope", "metric", "kind", "ticks", "last", "peak", "obs", "peak p99"});
+  for (const auto& [key, agg] : timeline.series) {
+    const bool sketch = agg.kind == "sketch";
+    table.AddRow({key.first, key.second, agg.kind, std::to_string(agg.ticks),
+                  sketch ? "-" : Table::Num(agg.last, 0), sketch ? "-" : Table::Num(agg.peak, 0),
+                  sketch ? std::to_string(agg.count) : "-",
+                  sketch ? Table::Num(agg.peak_p99, 0) : "-"});
+  }
+  table.RenderAscii(std::cout);
+  std::printf("\n");
+}
+
+obs::CriticalPathReport ReportCriticalPath(const std::string& trace_path, int top_k,
+                                           const std::string& csv_path, bool* loaded) {
+  *loaded = false;
+  obs::CriticalPathReport report;
+  std::string text;
+  if (!ReadFile(trace_path, &text)) {
+    std::fprintf(stderr, "error: cannot read trace %s\n", trace_path.c_str());
+    return report;
+  }
+  obs::CpInput input;
+  std::string error;
+  if (!obs::LoadCpInputFromChromeTrace(text, &input, &error)) {
+    std::fprintf(stderr, "error: %s: %s\n", trace_path.c_str(), error.c_str());
+    return report;
+  }
+  report = obs::AnalyzeCriticalPath(input, top_k);
+  *loaded = true;
+  std::printf("-- critical path (per-iteration longest-path decomposition) --\n");
+  if (report.iterations.empty()) {
+    std::printf("no iteration windows (trace carries no per-worker backprop spans)\n\n");
+    return report;
+  }
+  Table table({"iter", "worker", "total ms", "compute %", "transport %", "credit-wait %",
+               "recovery %", "coverage %"});
+  for (const obs::IterationBreakdown& it : report.iterations) {
+    const double total = it.total_us();
+    auto pct = [total](double us) { return total > 0 ? 100.0 * us / total : 0.0; };
+    table.AddRow({std::to_string(it.iter), std::to_string(it.critical_worker),
+                  Table::Num(total / 1e3, 3), Table::Num(pct(it.compute_us), 1),
+                  Table::Num(pct(it.transport_us), 1), Table::Num(pct(it.credit_wait_us), 1),
+                  Table::Num(pct(it.recovery_us), 1), Table::Num(100.0 * it.coverage(), 1)});
+  }
+  table.RenderAscii(std::cout);
+  std::printf("min coverage: %.1f%%\n", 100.0 * report.MinCoverage());
+  if (!report.stragglers.empty()) {
+    Table straggle({"rank", "partition", "iter", "duration us"});
+    for (size_t i = 0; i < report.stragglers.size(); ++i) {
+      const obs::StragglerPartition& s = report.stragglers[i];
+      straggle.AddRow({std::to_string(i + 1), s.name, std::to_string(s.iter),
+                       Table::Num(s.duration_us(), 1)});
+    }
+    std::printf("\n-- straggler partitions (longest flow arcs) --\n");
+    straggle.RenderAscii(std::cout);
+  }
+  std::printf("\n");
+  if (!csv_path.empty()) {
+    std::ofstream out(csv_path);
+    obs::WriteCriticalPathCsv(report, out);
+    std::printf("critical-path csv: %s (%zu iterations)\n\n", csv_path.c_str(),
+                report.iterations.size());
+  }
+  return report;
+}
+
+// Satellite check: span track ids must be stable across two identical runs —
+// the TraceRecorder assigns tids in first-use order, so any cross-run drift
+// means the instrumented run's track creation order is nondeterministic.
+bool CheckTrackStability(const TraceData& a, const TraceData& b) {
+  bool ok = true;
+  for (const auto& [tid, name] : a.track_names) {
+    const auto it = b.track_names.find(tid);
+    if (it == b.track_names.end()) {
+      std::fprintf(stderr, "TRACK MISMATCH: tid %d (%s) missing from second trace\n", tid,
+                   name.c_str());
+      ok = false;
+    } else if (it->second != name) {
+      std::fprintf(stderr, "TRACK MISMATCH: tid %d is %s vs %s\n", tid, name.c_str(),
+                   it->second.c_str());
+      ok = false;
+    }
+  }
+  for (const auto& [tid, name] : b.track_names) {
+    if (a.track_names.find(tid) == a.track_names.end()) {
+      std::fprintf(stderr, "TRACK MISMATCH: tid %d (%s) missing from first trace\n", tid,
+                   name.c_str());
+      ok = false;
+    }
+  }
+  std::map<int, size_t> spans_a;
+  std::map<int, size_t> spans_b;
+  for (const Span& s : a.spans) {
+    ++spans_a[s.tid];
+  }
+  for (const Span& s : b.spans) {
+    ++spans_b[s.tid];
+  }
+  if (spans_a != spans_b) {
+    std::fprintf(stderr, "TRACK MISMATCH: per-track span counts differ between runs\n");
+    ok = false;
+  }
+  std::printf("-- track stability --\n%s: %zu tracks, %zu spans vs %zu spans\n\n",
+              ok ? "stable" : "UNSTABLE", a.track_names.size(), a.spans.size(),
+              b.spans.size());
+  return ok;
+}
+
 // Acceptance validation: the artifacts carry an end-to-end partition arc and
 // the scheduler/link/fault metrics the figures rely on.
 bool CheckArtifacts(bool have_trace, const TraceSummary& trace_summary, bool have_metrics,
@@ -464,11 +673,26 @@ int main(int argc, char** argv) {
   const Flags flags(argc, argv);
   const std::string trace_path = flags.GetString("trace", "");
   const std::string metrics_path = flags.GetString("metrics", "");
+  const std::string trace_b_path = flags.GetString("trace-b", "");
+  std::string timeseries_path = flags.GetString("timeseries", "");
+  if (timeseries_path.empty() && flags.GetBool("timeline", false)) {
+    timeseries_path = "timeseries.csv";
+  }
+  const std::string cp_csv_path = flags.GetString("critical-path-csv", "");
+  const bool critical_path = flags.GetBool("critical-path", false) || !cp_csv_path.empty();
+  const int top_k = static_cast<int>(flags.GetInt("top-k", 5));
+  const double min_coverage = flags.GetDouble("min-coverage", 0.95);
   const bool check = flags.GetBool("check", false);
-  if (trace_path.empty() && metrics_path.empty()) {
+  if (trace_path.empty() && metrics_path.empty() && timeseries_path.empty()) {
     std::fprintf(stderr,
-                 "usage: obs_report --trace=trace.json --metrics=metrics.json [--check]\n"
+                 "usage: obs_report --trace=trace.json --metrics=metrics.json\n"
+                 "                  [--timeseries=timeseries.csv] [--critical-path]\n"
+                 "                  [--critical-path-csv=PATH] [--trace-b=PATH] [--check]\n"
                  "(produce the inputs with e.g. `quickstart --obs`)\n");
+    return 2;
+  }
+  if (critical_path && trace_path.empty()) {
+    std::fprintf(stderr, "error: --critical-path needs --trace=PATH\n");
     return 2;
   }
 
@@ -482,6 +706,34 @@ int main(int argc, char** argv) {
     trace_summary = ReportTrace(trace);
   }
 
+  bool tracks_stable = true;
+  if (!trace_b_path.empty()) {
+    if (!have_trace) {
+      std::fprintf(stderr, "error: --trace-b needs --trace=PATH\n");
+      return 2;
+    }
+    TraceData trace_b;
+    if (!LoadTrace(trace_b_path, &trace_b)) {
+      return 2;
+    }
+    tracks_stable = CheckTrackStability(trace, trace_b);
+  }
+
+  obs::CriticalPathReport cp_report;
+  bool cp_loaded = true;
+  if (critical_path) {
+    cp_report = ReportCriticalPath(trace_path, top_k, cp_csv_path, &cp_loaded);
+  }
+
+  TimelineData timeline;
+  const bool have_timeline = !timeseries_path.empty();
+  if (have_timeline) {
+    if (!LoadTimeline(timeseries_path, &timeline)) {
+      return 2;
+    }
+    ReportTimeline(timeline);
+  }
+
   MetricsData metrics;
   const bool have_metrics = !metrics_path.empty();
   if (have_metrics) {
@@ -492,7 +744,26 @@ int main(int argc, char** argv) {
   }
 
   if (check) {
-    if (!CheckArtifacts(have_trace, trace_summary, have_metrics, metrics)) {
+    bool ok = CheckArtifacts(have_trace, trace_summary, have_metrics, metrics);
+    if (!tracks_stable) {
+      std::fprintf(stderr, "CHECK FAILED: span track ids differ between identical runs\n");
+      ok = false;
+    }
+    if (critical_path) {
+      if (!cp_loaded || cp_report.iterations.empty()) {
+        std::fprintf(stderr, "CHECK FAILED: critical-path analysis produced no iterations\n");
+        ok = false;
+      } else if (cp_report.MinCoverage() < min_coverage) {
+        std::fprintf(stderr, "CHECK FAILED: critical-path coverage %.3f < %.3f\n",
+                     cp_report.MinCoverage(), min_coverage);
+        ok = false;
+      }
+    }
+    if (have_timeline && timeline.rows == 0) {
+      std::fprintf(stderr, "CHECK FAILED: timeseries CSV carries no sample rows\n");
+      ok = false;
+    }
+    if (!ok) {
       return 1;
     }
     std::printf("check: OK\n");

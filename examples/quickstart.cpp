@@ -15,8 +15,13 @@
 //        --trace[=path]  write a Chrome/Perfetto trace of the ByteScheduler
 //                        job (default path trace.json)
 //        --metrics[=path] write its metrics snapshot (default metrics.json)
-//        --obs           shorthand for --trace --metrics
-//                        Inspect both with: ./build/bench/obs_report
+//        --timeseries[=path] sample per-worker metrics on a simulated-time
+//                        cadence and write the series CSV (default
+//                        timeseries.csv)
+//        --sample-every=US  the sampling cadence in simulated microseconds
+//                        (default 100; implies --timeseries when given alone)
+//        --obs           shorthand for --trace --metrics --timeseries
+//                        Inspect the artifacts with: ./build/bench/obs_report
 #include <cstdio>
 #include <fstream>
 #include <vector>
@@ -26,6 +31,7 @@
 #include "src/exec/sweep_runner.h"
 #include "src/model/zoo.h"
 #include "src/obs/metrics.h"
+#include "src/obs/timeseries.h"
 #include "src/runtime/cluster.h"
 #include "src/runtime/training_job.h"
 
@@ -40,6 +46,9 @@ int main(int argc, char** argv) {
   const ObsFlags obs = ParseObsFlags(flags);
   TraceRecorder trace;
   MetricsRegistry metrics;
+  const bool want_timeseries = !obs.timeseries_path.empty();
+  TimeSeriesRecorder timeseries(
+      &metrics, SimTime::Micros(obs.sample_every_us > 0 ? obs.sample_every_us : 100));
 
   JobConfig job;
   job.model = Vgg16();
@@ -68,7 +77,11 @@ int main(int argc, char** argv) {
         // the sinks go to the chaos rerun below instead, so its trace shows
         // the retry/retransmit activity.
         run.trace = obs.trace_path.empty() ? nullptr : &trace;
-        run.metrics = obs.metrics_path.empty() ? nullptr : &metrics;
+        // The time-series recorder samples metric handles, so it needs the
+        // registry even when no snapshot file was requested.
+        run.metrics =
+            obs.metrics_path.empty() && !want_timeseries ? nullptr : &metrics;
+        run.timeseries = want_timeseries ? &timeseries : nullptr;
       }
     }
     return RunTrainingJob(run);
@@ -95,7 +108,9 @@ int main(int argc, char** argv) {
     job.chaos = FaultPlanConfig::Chaos(chaos_seed);
     if (obs.enabled()) {
       job.trace = obs.trace_path.empty() ? nullptr : &trace;
-      job.metrics = obs.metrics_path.empty() ? nullptr : &metrics;
+      job.metrics =
+          obs.metrics_path.empty() && !want_timeseries ? nullptr : &metrics;
+      job.timeseries = want_timeseries ? &timeseries : nullptr;
     }
     const JobResult chaotic = RunTrainingJob(job);
     std::printf("  chaos (seed %llu): %8.1f images/sec (%+.1f%% vs fault-free)\n",
@@ -115,10 +130,18 @@ int main(int argc, char** argv) {
     metrics.Snapshot().WriteJson(out);
     std::printf("  metrics        : %s\n", obs.metrics_path.c_str());
   }
+  if (want_timeseries) {
+    std::ofstream out(obs.timeseries_path);
+    timeseries.WriteCsv(out);
+    std::printf("  timeseries     : %s (%llu ticks @ %lldus)\n", obs.timeseries_path.c_str(),
+                static_cast<unsigned long long>(timeseries.total_ticks()),
+                static_cast<long long>(obs.sample_every_us));
+  }
   if (obs.enabled()) {
-    std::printf("  inspect with   : obs_report --trace=%s --metrics=%s\n",
+    std::printf("  inspect with   : obs_report --trace=%s --metrics=%s --timeseries=%s\n",
                 obs.trace_path.empty() ? "<none>" : obs.trace_path.c_str(),
-                obs.metrics_path.empty() ? "<none>" : obs.metrics_path.c_str());
+                obs.metrics_path.empty() ? "<none>" : obs.metrics_path.c_str(),
+                obs.timeseries_path.empty() ? "<none>" : obs.timeseries_path.c_str());
   }
   return 0;
 }

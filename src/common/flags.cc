@@ -80,6 +80,7 @@ ObsFlags ParseObsFlags(const Flags& flags) {
   ObsFlags obs;
   obs.trace_path = PathOrDefault(flags, "trace", "trace.json");
   obs.metrics_path = PathOrDefault(flags, "metrics", "metrics.json");
+  obs.timeseries_path = PathOrDefault(flags, "timeseries", "timeseries.csv");
   if (flags.GetBool("obs", false)) {
     if (obs.trace_path.empty()) {
       obs.trace_path = "trace.json";
@@ -87,6 +88,17 @@ ObsFlags ParseObsFlags(const Flags& flags) {
     if (obs.metrics_path.empty()) {
       obs.metrics_path = "metrics.json";
     }
+    if (obs.timeseries_path.empty()) {
+      obs.timeseries_path = "timeseries.csv";
+    }
+  }
+  // --sample-every alone implies time-series sampling at that cadence.
+  const int64_t sample_every_us = flags.GetInt("sample-every", 0);
+  if (sample_every_us > 0 && obs.timeseries_path.empty()) {
+    obs.timeseries_path = "timeseries.csv";
+  }
+  if (!obs.timeseries_path.empty()) {
+    obs.sample_every_us = sample_every_us > 0 ? sample_every_us : 100;
   }
   return obs;
 }

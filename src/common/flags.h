@@ -31,18 +31,27 @@ class Flags {
 };
 
 // Observability artifact paths parsed from the shared --trace / --metrics /
-// --obs flags. Every figure binary that accepts these can emit a Chrome
-// trace and a metrics snapshot next to its normal output.
+// --timeseries / --sample-every / --obs flags. Every figure binary that
+// accepts these can emit a Chrome trace, a metrics snapshot and a sim-time
+// series CSV next to its normal output.
 struct ObsFlags {
-  std::string trace_path;    // empty = tracing off
-  std::string metrics_path;  // empty = metrics off
+  std::string trace_path;       // empty = tracing off
+  std::string metrics_path;     // empty = metrics off
+  std::string timeseries_path;  // empty = time-series sampling off
+  // Sampling cadence in simulated microseconds (only meaningful when
+  // timeseries_path is set; defaults to 100us).
+  int64_t sample_every_us = 0;
 
-  bool enabled() const { return !trace_path.empty() || !metrics_path.empty(); }
+  bool enabled() const {
+    return !trace_path.empty() || !metrics_path.empty() || !timeseries_path.empty();
+  }
 };
 
-// --trace[=path] and --metrics[=path] enable the respective sink (default
-// paths "trace.json" / "metrics.json" when no value is given); bare --obs
-// enables both with default paths.
+// --trace[=path], --metrics[=path] and --timeseries[=path] enable the
+// respective sink (default paths "trace.json" / "metrics.json" /
+// "timeseries.csv" when no value is given); bare --obs enables all three
+// with default paths. --sample-every=<us> sets the sampling cadence (and
+// implies --timeseries when given alone; default 100us).
 ObsFlags ParseObsFlags(const Flags& flags);
 
 }  // namespace bsched

@@ -143,6 +143,14 @@ void SchedulerCore::TrySchedule() {
     const bool can_start =
         !charges_credit || credit_ >= head.bytes || credit_ == config_.credit_bytes;
     if (!can_start) {
+      // Stamp the moment the head first starved on credit; RecordAdmit
+      // splits the wait span there. No event is scheduled, so the
+      // simulation trajectory is unchanged whether or not anyone traces.
+      QueuedSubTask& blocked = queue_.begin()->second;
+      if (!blocked.credit_waiting && sim_ != nullptr) {
+        blocked.credit_waiting = true;
+        blocked.credit_wait_since = sim_->Now();
+      }
       break;
     }
     const SubTaskKey key = queue_.begin()->first;
@@ -210,8 +218,19 @@ void SchedulerCore::RecordAdmit(QueuedSubTask& entry, const SubTaskKey& key, Byt
       tensor + ".p" + std::to_string(st.partition) + "." + ToString(st.type);
   const SimTime now = sim_->Now();
   TraceRecorder* trace = obs_->trace();
-  if (now > entry.ready_at) {
-    trace->AddSpan(track_, base + ".wait", entry.ready_at, now,
+  // Wait decomposition: queue-wait (ready → first credit starvation at the
+  // head, or admit when credit never blocked) and credit-wait (starvation →
+  // admit). The critical-path analyzer attributes the two separately.
+  const SimTime wait_end =
+      entry.credit_waiting ? std::max(entry.ready_at, entry.credit_wait_since) : now;
+  if (wait_end > entry.ready_at) {
+    trace->AddSpan(track_, base + ".wait", entry.ready_at, wait_end,
+                   {TraceArg::Int("layer", st.layer), TraceArg::Int("partition", st.partition),
+                    TraceArg::Int("bytes", st.bytes), TraceArg::Int("attempt", entry.attempts),
+                    TraceArg::Int("charged", charged)});
+  }
+  if (entry.credit_waiting && now > entry.credit_wait_since) {
+    trace->AddSpan(track_, base + ".credit_wait", entry.credit_wait_since, now,
                    {TraceArg::Int("layer", st.layer), TraceArg::Int("partition", st.partition),
                     TraceArg::Int("bytes", st.bytes), TraceArg::Int("attempt", entry.attempts),
                     TraceArg::Int("charged", charged)});

@@ -101,6 +101,13 @@ class SchedulerCore {
     // When this entry became schedulable (valid only when tracing with a
     // Simulator); admit time minus this is the queue-wait span.
     SimTime ready_at;
+    // When this entry, at the head of the queue, first blocked on credit
+    // (valid only with a Simulator when credit_waiting is set). Splits the
+    // wait span into queue-wait (behind higher-priority work) and
+    // credit-wait (Algorithm 1 line 16 starvation) — the boundary the
+    // critical-path analyzer attributes separately.
+    SimTime credit_wait_since;
+    bool credit_waiting = false;
   };
 
   // One admitted subtask being watched by the recovery layer.

@@ -1,7 +1,10 @@
 #include "src/obs/metrics.h"
 
+#include <algorithm>
 #include <limits>
+#include <span>
 
+#include "src/common/stats.h"
 #include "src/obs/json_lite.h"
 
 namespace bsched {
@@ -63,6 +66,33 @@ double HistogramSnapshot::Quantile(double q) const {
     }
   }
   return static_cast<double>(Histogram::BucketUpperBound(buckets.back().first));
+}
+
+std::vector<double> HistogramSnapshot::Percentiles(const std::vector<double>& ps) const {
+  std::vector<double> out(ps.size(), 0.0);
+  if (count == 0) {
+    return out;
+  }
+  // Expand each bucket into representative points spread evenly across its
+  // value range, capped at ~4k points total (proportional allocation, at
+  // least one point per non-empty bucket) so a billion-sample histogram
+  // still selects in microseconds.
+  constexpr uint64_t kMaxPoints = 4096;
+  std::vector<double> samples;
+  samples.reserve(static_cast<size_t>(std::min(count, kMaxPoints)) + buckets.size());
+  for (const auto& [index, c] : buckets) {
+    const uint64_t n = count > kMaxPoints ? std::max<uint64_t>(1, c * kMaxPoints / count) : c;
+    const double lo = static_cast<double>(Histogram::BucketLowerBound(index));
+    const double hi = static_cast<double>(Histogram::BucketUpperBound(index));
+    for (uint64_t j = 0; j < n; ++j) {
+      const double frac = (2.0 * static_cast<double>(j) + 1.0) / (2.0 * static_cast<double>(n));
+      samples.push_back(lo + (hi - lo) * frac);
+    }
+  }
+  for (size_t i = 0; i < ps.size(); ++i) {
+    out[i] = PercentileInPlace(std::span<double>(samples), ps[i]);
+  }
+  return out;
 }
 
 Counter* MetricsRegistry::counter(const std::string& name) {
@@ -140,16 +170,17 @@ void MetricsSnapshot::WriteJson(std::ostream& os) const {
 }
 
 void MetricsSnapshot::WriteCsv(std::ostream& os) const {
-  os << "kind,name,value,count,sum,p50,p99\n";
+  os << "kind,name,value,count,sum,p50,p95,p99\n";
   for (const auto& [name, v] : counters) {
-    os << "counter," << name << "," << v << ",,,,\n";
+    os << "counter," << name << "," << v << ",,,,,\n";
   }
   for (const auto& [name, v] : gauges) {
-    os << "gauge," << name << "," << v << ",,,,\n";
+    os << "gauge," << name << "," << v << ",,,,,\n";
   }
   for (const auto& [name, h] : histograms) {
-    os << "histogram," << name << ",," << h.count << "," << h.sum << "," << h.Quantile(50)
-       << "," << h.Quantile(99) << "\n";
+    const std::vector<double> p = h.Percentiles({50.0, 95.0, 99.0});
+    os << "histogram," << name << ",," << h.count << "," << h.sum << "," << p[0] << ","
+       << p[1] << "," << p[2] << "\n";
   }
 }
 

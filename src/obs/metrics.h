@@ -53,6 +53,14 @@ struct HistogramSnapshot {
   // Approximate quantile (q in [0, 100]) by linear interpolation inside the
   // target bucket's [lower, upper] value range. 0 for an empty histogram.
   double Quantile(double q) const;
+
+  // Percentile estimates (each p in [0, 100]) computed by expanding the log2
+  // buckets into a bounded set of evenly-spread representative samples and
+  // selecting with PercentileInPlace — the same selection the rest of the
+  // harness uses, so CSV percentiles and bench percentiles agree on
+  // convention. Returns one value per requested percentile; all zeros for an
+  // empty histogram.
+  std::vector<double> Percentiles(const std::vector<double>& ps) const;
 };
 
 // Fixed log2-bucket histogram over non-negative integer samples (bytes,

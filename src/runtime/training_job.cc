@@ -16,6 +16,7 @@
 #include "src/engine/imperative_engine.h"
 #include "src/engine/proxy.h"
 #include "src/obs/obs.h"
+#include "src/obs/timeseries.h"
 #include "src/sim/resource.h"
 #include "src/sim/shard_coordinator.h"
 #include "src/sim/simulator.h"
@@ -90,6 +91,14 @@ class TrainingJob {
       obs_storage_ = ObsContext(config_.trace, config_.metrics);
       obs_ = &obs_storage_;
     }
+    if (config_.timeseries != nullptr) {
+      BSCHED_CHECK(config_.metrics != nullptr &&
+                   "timeseries sampling reads metric handles; set JobConfig::metrics too");
+      BSCHED_CHECK(shared_.sim == nullptr &&
+                   "timeseries sampling is wired only for jobs owning their substrate");
+      BSCHED_CHECK(config_.timeseries->registry() == config_.metrics &&
+                   "the recorder must be registered against this job's metrics registry");
+    }
     if (config_.chaos.has_value()) {
       // Chaos owns its whole substrate: a shared fabric would splice one
       // job's fault episodes into every co-scheduled job's timeline.
@@ -133,6 +142,7 @@ class TrainingJob {
     for (auto& engine : imp_engines_) {
       engine->Start();
     }
+    SetupTimeSeries();
   }
 
   // After the simulator drained: validate liveness and collect results.
@@ -293,6 +303,44 @@ class TrainingJob {
         BuildDeclarativeWorker(w);
       }
     }
+  }
+
+  // Registers one sampling scope per worker on that worker's simulator
+  // (= its coordinator shard in sharded mode). Every sampled source is
+  // written exclusively by events on the worker's own simulator — scheduler
+  // handles by its Core, net.worker<w>.* by its NIC links (the PS egress
+  // forwards pull data to the worker's shard before the downlink sends), the
+  // GPU probe by its Resource — so the tick reads are exact at any shard
+  // count. The scope stops at the first tick after the worker's engine
+  // drained, keeping the simulation finite.
+  void SetupTimeSeries() {
+    if (config_.timeseries == nullptr) {
+      return;
+    }
+    TimeSeriesRecorder& rec = *config_.timeseries;
+    for (int w = 0; w < sim_workers_; ++w) {
+      std::function<bool()> active;
+      if (!dag_engines_.empty()) {
+        const DagEngine* engine = dag_engines_[w].get();
+        active = [engine] { return !engine->AllDone(); };
+      } else {
+        const ImperativeEngine* engine = imp_engines_[w].get();
+        active = [engine] { return !engine->AllDone(); };
+      }
+      const std::string ws = std::to_string(w);
+      const int scope = rec.AddScope("w" + ws, WorkerSim(w), std::move(active));
+      rec.SampleCounter(scope, "net.worker" + ws + ".up.bytes");
+      rec.SampleCounter(scope, "net.worker" + ws + ".down.bytes");
+      rec.SampleGauge(scope, "net.worker" + ws + ".up.inflight_bytes");
+      rec.SampleSketch(scope, "net.worker" + ws + ".up.queue_ns");
+      rec.SampleSketch(scope, "sched.w" + ws + ".queue_depth");
+      rec.SampleSketch(scope, "sched.w" + ws + ".credit_in_use");
+      rec.SampleCounter(scope, "sched.w" + ws + ".preemptions");
+      const Resource* gpu = gpus_[w].get();
+      rec.SampleProbe(scope, "gpu.w" + ws + ".busy_ns",
+                      [gpu] { return gpu->busy_time().nanos(); });
+    }
+    rec.Start();
   }
 
   // ---- shared plugin actions ----------------------------------------------

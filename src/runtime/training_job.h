@@ -21,6 +21,7 @@
 namespace bsched {
 
 class MetricsRegistry;
+class TimeSeriesRecorder;
 
 struct JobConfig {
   ModelProfile model;
@@ -91,6 +92,18 @@ struct JobConfig {
   // own registry when comparing runs — names are not namespaced per job.
   // Ignored (like `trace`) for co-scheduled jobs on shared infrastructure.
   MetricsRegistry* metrics = nullptr;
+
+  // Optional sim-time sampling sink (src/obs/timeseries.h): one scope per
+  // worker samples that worker's scheduler, NIC-link and GPU signals on the
+  // recorder's cadence, driven by ordinary simulator timer events. Requires
+  // `metrics` (the recorder reads the same registry handles the subsystems
+  // write) and a job owning its substrate; must be un-started and outlive
+  // RunTrainingJob. Null disables sampling with zero cost (bit-identical
+  // simulation); an enabled recorder adds tick events but never perturbs
+  // iteration timing, and its merged CSV is byte-identical at any
+  // `shards` >= 1 (serial `shards == 0` keeps its own legacy event order,
+  // exactly as documented on `shards`).
+  TimeSeriesRecorder* timeseries = nullptr;
 
   int total_gpus() const { return num_machines * gpus_per_machine; }
 };

@@ -24,6 +24,35 @@ EventHandle Simulator::Schedule(SimTime delay, EventFn fn) {
   return ScheduleAt(now_ + delay, std::move(fn));
 }
 
+namespace {
+
+// Self-rescheduling periodic tick. Sized to fit EventFn's inline buffer
+// (8 + 8 + 32 = 48 bytes) so the chain never heap-allocates per tick; the
+// callable (and the captured predicate) dies with its event slot when the
+// predicate returns false.
+struct PeriodicEvent {
+  Simulator* sim;
+  SimTime interval;
+  std::function<bool()> fn;
+
+  void operator()() {
+    if (fn()) {
+      Simulator* s = sim;
+      const SimTime i = interval;
+      s->Schedule(i, PeriodicEvent{s, i, std::move(fn)});
+    }
+  }
+};
+static_assert(sizeof(PeriodicEvent) <= EventFn::kInlineBytes);
+
+}  // namespace
+
+void Simulator::SchedulePeriodic(SimTime interval, std::function<bool()> fn) {
+  BSCHED_CHECK(interval.nanos() > 0);
+  BSCHED_CHECK(fn != nullptr);
+  Schedule(interval, PeriodicEvent{this, interval, std::move(fn)});
+}
+
 EventHandle Simulator::ScheduleAt(SimTime when, EventFn fn) {
   BSCHED_CHECK(when >= now_);
   uint32_t slot;

@@ -19,6 +19,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <new>
 #include <type_traits>
@@ -168,6 +169,13 @@ class Simulator {
 
   // Schedules `fn` at an absolute time, which must be >= Now().
   EventHandle ScheduleAt(SimTime when, EventFn fn);
+
+  // Fires `fn` at Now() + interval and then every `interval` after, until it
+  // returns false (the final false tick is still a processed event). The
+  // chain is an ordinary self-rescheduling event: it keeps the simulator
+  // non-empty while armed, so the predicate must eventually return false for
+  // Run() to drain. interval must be > 0.
+  void SchedulePeriodic(SimTime interval, std::function<bool()> fn);
 
   // Runs events until the queue is empty or `deadline` is passed. Events at
   // exactly `deadline` still fire. Returns the number of events processed.

@@ -18,6 +18,8 @@
 #include "src/fault/fault_injector.h"
 #include "src/fault/fault_plan.h"
 #include "src/model/zoo.h"
+#include "src/obs/metrics.h"
+#include "src/obs/timeseries.h"
 #include "src/runtime/cluster.h"
 #include "src/runtime/training_job.h"
 #include "src/sim/simulator.h"
@@ -710,6 +712,30 @@ TEST(ChaosShardBoundaryTest, RecoveryIsBitIdenticalAcrossShardCounts) {
     EXPECT_EQ(a.core_abandoned, b.core_abandoned);
     EXPECT_EQ(a.backend_retransmits, b.backend_retransmits);
     EXPECT_EQ(a.credit_restored, b.credit_restored);
+  }
+}
+
+TEST(ChaosShardBoundaryTest, TimeSeriesCsvIsByteIdenticalAcrossShardCounts) {
+  // The sampling tick chains interleave with retransmission recovery that
+  // crosses the lookahead barrier; the exported series — including the
+  // per-window sketches that see the recovery spikes — must still not depend
+  // on the shard count.
+  for (const uint64_t seed : {uint64_t{1}, uint64_t{3}}) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    auto series_csv = [seed](int shards) {
+      MetricsRegistry metrics;
+      TimeSeriesRecorder recorder(&metrics, SimTime::Micros(200));
+      JobConfig job = ChaosJobConfig(Setup::MxnetPsRdma(), seed);
+      job.shards = shards;
+      job.metrics = &metrics;
+      job.timeseries = &recorder;
+      RunTrainingJob(job);
+      return recorder.ToCsv();
+    };
+    const std::string one = series_csv(1);
+    ASSERT_FALSE(one.empty());
+    EXPECT_NE(one.find(",w0,"), std::string::npos);
+    EXPECT_EQ(one, series_csv(2));
   }
 }
 

@@ -310,7 +310,7 @@ TEST(MetricsSnapshotTest, CsvShape) {
   std::ostringstream os;
   reg.Snapshot().WriteCsv(os);
   const std::string csv = os.str();
-  EXPECT_EQ(csv.rfind("kind,name,value,count,sum,p50,p99", 0), 0u);
+  EXPECT_EQ(csv.rfind("kind,name,value,count,sum,p50,p95,p99", 0), 0u);
   EXPECT_NE(csv.find("counter,c,2"), std::string::npos);
   EXPECT_NE(csv.find("gauge,g,5"), std::string::npos);
   EXPECT_NE(csv.find("histogram,h"), std::string::npos);
