@@ -1,0 +1,287 @@
+// Figure 15 (repo extension): training speed under a volatile network
+// fabric. Sweeps the dynamic-network volatility amplitude (seeded
+// random-walk link drift plus on/off cross traffic, src/net/net_dynamics.h)
+// and compares vanilla FIFO against ByteScheduler on a 2-machine PS cluster.
+// The paper's argument predicts the gap should *grow* with volatility: as
+// links derate, the job turns communication-bound, and priority scheduling
+// with partitioning recovers overlap that FIFO head-of-line blocking wastes.
+//
+// The amplitude sweep's cells are independent simulations evaluated on the
+// SweepRunner pool; rows are bit-identical at any --jobs value and at any
+// --shards K >= 1 (the dynamic fabric derives every schedule from
+// (seed, link name), never from shard layout).
+//
+// Flags: --jobs N          sweep workers (default: hardware concurrency)
+//        --shards K        sharded parallel-DES per cell (default 1)
+//        --model NAME      zoo model (default resnet50)
+//        --gbps F          per-NIC bandwidth (default 25)
+//        --seed N          dynamics seed (default 3)
+//        --csv PATH        also write the rows as CSV
+//        --check-determinism  recompute the sweep at --jobs 1 vs N and at
+//                          shards 1/2/8 and require byte-identical CSV rows
+//        --require-growing-gain  fail unless ByteScheduler's gain over
+//                          vanilla is larger at the highest amplitude than
+//                          at amplitude 0 (the figure's acceptance check)
+//        --bench-append PATH  insert a "fig15_volatility" section into an
+//                          existing BENCH_sim.json (micro_sim's output)
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+#include "src/common/flags.h"
+#include "src/exec/sweep_runner.h"
+#include "src/model/zoo.h"
+#include "src/net/net_dynamics.h"
+#include "src/obs/json_lite.h"
+#include "src/runtime/training_job.h"
+
+namespace bsched {
+namespace {
+
+const std::vector<double> kAmplitudes = {0.0, 0.2, 0.4, 0.6, 0.8};
+
+struct VolatilityRow {
+  double amplitude = 0.0;
+  double vanilla = 0.0;       // samples/sec
+  double bytescheduler = 0.0;  // samples/sec
+  double gain() const { return vanilla > 0 ? bytescheduler / vanilla : 0.0; }
+};
+
+NetDynamicsConfig Fabric(uint64_t seed, double amplitude) {
+  NetDynamicsConfig dyn;
+  dyn.seed = seed;
+  dyn.volatility_amplitude = amplitude;
+  dyn.volatility_period = SimTime::Millis(2);
+  // CASSINI-style on/off background flows ride along at every amplitude so
+  // amplitude 0 still exercises the dynamic path (identity drift only).
+  dyn.cross_flows = amplitude > 0.0 ? 2 : 0;
+  dyn.cross_load = 0.35 * amplitude;
+  dyn.force_enable = true;
+  return dyn;
+}
+
+// Defaults picked so the calm fabric is (nearly) compute-bound — vanilla ~=
+// bytescheduler at amplitude 0 — and volatility derates the links into the
+// comm-bound regime where priority scheduling pays, so the gap widens with
+// amplitude: the figure's thesis. ResNet50 is the zoo's least
+// communication-bound model, which leaves the calm cluster with headroom.
+struct SweepSpec {
+  std::string model = "resnet50";
+  double gbps = 25.0;
+  uint64_t seed = 3;
+};
+
+JobConfig CellJob(const SweepSpec& spec, SchedMode mode, double amplitude, int shards) {
+  JobConfig job = bench::WithMode(
+      bench::MakeJob(ModelByName(spec.model), Setup::MxnetPsTcp(), /*num_machines=*/2,
+                     Bandwidth::Gbps(spec.gbps)),
+      mode);
+  job.warmup_iters = 1;
+  job.measure_iters = 3;
+  job.shards = shards;
+  job.dynamics = Fabric(spec.seed, amplitude);
+  return job;
+}
+
+// The full figure: one row per amplitude, both modes, cells evaluated
+// concurrently on the pool. Deterministic: rows depend only on (seed,
+// shards), never on `jobs`.
+std::vector<VolatilityRow> ComputeSweep(const SweepSpec& spec, int shards, int jobs) {
+  SweepRunner runner(jobs);
+  const std::vector<double> speeds =
+      runner.ParallelFor(kAmplitudes.size() * 2, [&](size_t index) {
+        const double amplitude = kAmplitudes[index / 2];
+        const SchedMode mode =
+            (index % 2 == 0) ? SchedMode::kVanilla : SchedMode::kByteScheduler;
+        return bench::RunSpeed(CellJob(spec, mode, amplitude, shards));
+      });
+  std::vector<VolatilityRow> rows;
+  for (size_t i = 0; i < kAmplitudes.size(); ++i) {
+    VolatilityRow row;
+    row.amplitude = kAmplitudes[i];
+    row.vanilla = speeds[2 * i];
+    row.bytescheduler = speeds[2 * i + 1];
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+// CSV with full double precision: the determinism check compares these
+// strings byte for byte across --jobs and --shards values.
+std::string ToCsv(const std::vector<VolatilityRow>& rows) {
+  std::ostringstream out;
+  out << "amplitude,vanilla_img_s,bytescheduler_img_s,gain\n";
+  for (const VolatilityRow& row : rows) {
+    char buf[160];
+    std::snprintf(buf, sizeof(buf), "%.1f,%.17g,%.17g,%.17g\n", row.amplitude, row.vanilla,
+                  row.bytescheduler, row.gain());
+    out << buf;
+  }
+  return out.str();
+}
+
+// Inserts (or replaces) a "fig15_volatility" section in BENCH_sim.json,
+// creating the file when micro_sim has not written one (e.g. a sanitizer
+// preset running only the net-dyn label). Returns false when the merged
+// document fails to re-parse or the file cannot be written.
+bool AppendBenchSection(const std::string& path, const std::vector<VolatilityRow>& rows,
+                        const SweepSpec& spec, int shards) {
+  std::string text = "{\n}\n";
+  {
+    std::ifstream in(path);
+    if (in) {
+      std::stringstream buf;
+      buf << in.rdbuf();
+      text = buf.str();
+    }
+  }
+
+  // Replace a section left by a previous append: cut from the comma that
+  // precedes the key (or from the opening brace when it is the only key)
+  // through the end, then re-close the object.
+  const size_t key = text.find("\"fig15_volatility\"");
+  if (key != std::string::npos) {
+    const size_t comma = text.rfind(',', key);
+    text.resize(comma != std::string::npos ? comma : text.find('{') + 1);
+    text += "\n}\n";
+  }
+  const size_t close = text.rfind('}');
+  if (close == std::string::npos) {
+    return false;
+  }
+  std::string head = text.substr(0, close);
+  while (!head.empty() && (head.back() == '\n' || head.back() == ' ')) {
+    head.pop_back();
+  }
+  const bool first_key = head == "{";
+
+  std::ostringstream section;
+  section << (first_key ? "" : ",") << "\n  \"fig15_volatility\": {\n";
+  section << "    \"model\": \"" << spec.model << "\",\n";
+  section << "    \"setup\": \"mxnet_ps_tcp\",\n";
+  char gbps_buf[64];
+  std::snprintf(gbps_buf, sizeof(gbps_buf), "%.1f", spec.gbps);
+  section << "    \"gbps\": " << gbps_buf << ",\n";
+  section << "    \"seed\": " << spec.seed << ",\n";
+  section << "    \"shards\": " << shards << ",\n";
+  section << "    \"rows\": [";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    char buf[200];
+    std::snprintf(buf, sizeof(buf),
+                  "%s\n      {\"amplitude\": %.1f, \"vanilla\": %.2f, "
+                  "\"bytescheduler\": %.2f, \"gain\": %.4f}",
+                  i == 0 ? "" : ",", rows[i].amplitude, rows[i].vanilla,
+                  rows[i].bytescheduler, rows[i].gain());
+    section << buf;
+  }
+  section << "\n    ]\n  }\n}\n";
+
+  const std::string merged = head + section.str();
+  obs::JsonValue parsed;
+  if (!obs::ParseJson(merged, &parsed)) {
+    return false;
+  }
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return false;
+  }
+  out << merged;
+  return true;
+}
+
+}  // namespace
+}  // namespace bsched
+
+int main(int argc, char** argv) {
+  using namespace bsched;
+
+  const Flags flags(argc, argv);
+  const int jobs = bench::InitBenchJobs(argc, argv);
+  SweepSpec spec;
+  spec.model = flags.GetString("model", spec.model);
+  spec.gbps = flags.GetDouble("gbps", spec.gbps);
+  spec.seed = static_cast<uint64_t>(
+      flags.GetInt("seed", static_cast<int64_t>(spec.seed)));
+  const int shards = static_cast<int>(flags.GetInt("shards", 1));
+  const std::string csv_path = flags.GetString("csv", "");
+  const std::string bench_path = flags.GetString("bench-append", "");
+  const bool check_determinism = flags.GetBool("check-determinism", false);
+  const bool require_growing_gain = flags.GetBool("require-growing-gain", false);
+
+  std::printf("Figure 15: volatility sweep (%s, mxnet ps tcp, 2 machines, %.0f Gbps, "
+              "seed=%llu, shards=%d, jobs=%d)\n",
+              spec.model.c_str(), spec.gbps,
+              static_cast<unsigned long long>(spec.seed), shards, jobs);
+
+  const std::vector<VolatilityRow> rows = ComputeSweep(spec, shards, jobs);
+  std::printf("  %-10s %14s %16s %8s\n", "amplitude", "vanilla img/s", "bytesched img/s",
+              "gain");
+  for (const VolatilityRow& row : rows) {
+    std::printf("  %-10.1f %14.1f %16.1f %7.1f%%\n", row.amplitude, row.vanilla,
+                row.bytescheduler, 100.0 * (row.gain() - 1.0));
+  }
+
+  int failures = 0;
+
+  if (check_determinism) {
+    // Bit-identical rows at any worker count and any shard count >= 1.
+    const std::string reference = ToCsv(rows);
+    if (ToCsv(ComputeSweep(spec, shards, 1)) != reference) {
+      std::fprintf(stderr, "FATAL: sweep rows depend on --jobs\n");
+      ++failures;
+    }
+    const std::string at_shard1 =
+        shards == 1 ? reference : ToCsv(ComputeSweep(spec, 1, jobs));
+    for (const int k : {2, 8}) {
+      if (ToCsv(ComputeSweep(spec, k, jobs)) != at_shard1) {
+        std::fprintf(stderr, "FATAL: sweep rows diverge at shards=%d\n", k);
+        ++failures;
+      }
+    }
+    if (failures == 0) {
+      std::printf("  determinism: rows byte-identical at jobs {1,%d} and shards {1,2,8}\n",
+                  jobs);
+    }
+  }
+
+  if (require_growing_gain) {
+    const double calm = rows.front().gain();
+    const double stormy = rows.back().gain();
+    if (!(stormy > calm)) {
+      std::fprintf(stderr,
+                   "FATAL: ByteScheduler gain does not grow with volatility "
+                   "(%.4fx at %.1f vs %.4fx at %.1f)\n",
+                   calm, rows.front().amplitude, stormy, rows.back().amplitude);
+      ++failures;
+    } else {
+      std::printf("  gain grows with volatility: %.2fx calm -> %.2fx at amplitude %.1f\n",
+                  calm, stormy, rows.back().amplitude);
+    }
+  }
+
+  if (!csv_path.empty()) {
+    std::ofstream out(csv_path, std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", csv_path.c_str());
+      ++failures;
+    } else {
+      out << ToCsv(rows);
+      std::printf("  wrote %s\n", csv_path.c_str());
+    }
+  }
+
+  if (!bench_path.empty()) {
+    if (AppendBenchSection(bench_path, rows, spec, shards)) {
+      std::printf("  appended fig15_volatility section to %s\n", bench_path.c_str());
+    } else {
+      std::fprintf(stderr, "cannot append fig15_volatility section to %s\n",
+                   bench_path.c_str());
+      ++failures;
+    }
+  }
+
+  return failures == 0 ? 0 : 1;
+}

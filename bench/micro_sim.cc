@@ -30,6 +30,13 @@
 //        --max-regression F       allowed churn slowdown vs baseline
 //                                 (default 0.10 — the >10% regression gate)
 //        --min-wheel-vs-heap F    wheel/heap churn floor (default 0.9)
+//        --max-idle-regression F  allowed link-churn slowdown of the
+//                                 enabled-but-idle RateModel path vs the
+//                                 static link path (default 0.03 — the
+//                                 dynamic fabric's zero-cost perf gate; a
+//                                 same-process ratio, so it tolerates much
+//                                 tighter bounds than the cross-process
+//                                 gates above)
 // The gate defaults assume reasonably quiet hardware; CI on oversubscribed
 // single-core containers passes wider values (see bench/CMakeLists.txt).
 #include <algorithm>
@@ -44,6 +51,7 @@
 
 #include "bench/churn.h"
 #include "bench/harness.h"
+#include "bench/link_churn.h"
 #include "src/common/flags.h"
 #include "src/exec/sweep_runner.h"
 #include "src/model/zoo.h"
@@ -140,6 +148,7 @@ int main(int argc, char** argv) {
   const bool skip_sweep = flags.GetBool("skip-sweep", false);
   const double max_regression = flags.GetDouble("max-regression", 0.10);
   const double min_wheel_vs_heap = flags.GetDouble("min-wheel-vs-heap", 0.9);
+  const double max_idle_regression = flags.GetDouble("max-idle-regression", 0.03);
   const int host_cpus = static_cast<int>(std::thread::hardware_concurrency());
 
   // Read the gate baseline before this run overwrites the file.
@@ -165,6 +174,24 @@ int main(int argc, char** argv) {
               wheel.events_per_sec / 1e6, heap.events_per_sec / 1e6, legacy.events_per_sec / 1e6);
   std::printf("  wheel vs legacy: %.2fx   wheel vs heap: %.2fx\n", speedup_vs_legacy,
               wheel_vs_heap);
+
+  // Dynamic-network zero-cost gate: the integrating transmit path with an
+  // identity RateModel installed must track the legacy fixed-rate link path.
+  // The simulated timings are bit-identical by contract (tests/net_test.cc
+  // asserts that); this measures the host-CPU price of the idle machinery.
+  const int link_msgs = static_cast<int>(flags.GetInt("link-msgs", 200000));
+  const bench::LinkChurnResult link_static = bench::MeasureLinkChurn(false, link_msgs, rounds);
+  const bench::LinkChurnResult link_idle = bench::MeasureLinkChurn(true, link_msgs, rounds);
+  if (link_static.checksum != link_idle.checksum) {
+    std::fprintf(stderr, "FATAL: link churn timings diverge (static %llu, idle-model %llu)\n",
+                 static_cast<unsigned long long>(link_static.checksum),
+                 static_cast<unsigned long long>(link_idle.checksum));
+    return 1;
+  }
+  const double idle_overhead = 1.0 - link_idle.msgs_per_sec / link_static.msgs_per_sec;
+  std::printf("  link churn: static %.2fM msgs/sec, idle rate-model %.2fM (%+.1f%%)\n",
+              link_static.msgs_per_sec / 1e6, link_idle.msgs_per_sec / 1e6,
+              -100.0 * idle_overhead);
 
   std::vector<ShardRow> shard_rows;
   if (!skip_sweep) {
@@ -213,6 +240,14 @@ int main(int argc, char** argv) {
   std::fprintf(out, "    \"wheel_vs_heap\": %.3f,\n", wheel_vs_heap);
   std::fprintf(out, "    \"speedup_vs_legacy\": %.3f\n", speedup_vs_legacy);
   std::fprintf(out, "  },\n");
+  std::fprintf(out, "  \"rate_model\": {\n");
+  std::fprintf(out, "    \"workload\": \"link_churn\",\n");
+  std::fprintf(out, "    \"messages\": %d,\n", link_msgs);
+  std::fprintf(out, "    \"static_msgs_per_sec\": %.0f,\n", link_static.msgs_per_sec);
+  std::fprintf(out, "    \"idle_msgs_per_sec\": %.0f,\n", link_idle.msgs_per_sec);
+  std::fprintf(out, "    \"idle_overhead\": %.4f,\n", idle_overhead);
+  std::fprintf(out, "    \"max_idle_regression\": %.4f\n", max_idle_regression);
+  std::fprintf(out, "  },\n");
   std::fprintf(out, "  \"shard_scaling\": {\n");
   std::fprintf(out, "    \"model\": \"vgg16\",\n");
   std::fprintf(out, "    \"setup\": \"mxnet_ps_tcp\",\n");
@@ -255,6 +290,21 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "PERF GATE: timer wheel fell below %.2fx of the binary heap (%.3fx)\n",
                  min_wheel_vs_heap, gated_ratio);
     ++failures;
+  }
+  {
+    double gated_overhead = idle_overhead;
+    if (gated_overhead > max_idle_regression) {
+      const bench::LinkChurnResult s2 = bench::MeasureLinkChurn(false, link_msgs, rounds);
+      const bench::LinkChurnResult i2 = bench::MeasureLinkChurn(true, link_msgs, rounds);
+      gated_overhead = std::min(gated_overhead, 1.0 - i2.msgs_per_sec / s2.msgs_per_sec);
+    }
+    if (gated_overhead > max_idle_regression) {
+      std::fprintf(stderr,
+                   "PERF GATE: idle rate-model link churn regressed >%.0f%% vs the static "
+                   "path (%+.1f%%)\n",
+                   100.0 * max_idle_regression, 100.0 * gated_overhead);
+      ++failures;
+    }
   }
   if (baseline_rate > 0.0) {
     const double floor = (1.0 - max_regression) * baseline_rate;

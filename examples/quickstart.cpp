@@ -12,6 +12,11 @@
 //                        fault injection (message drops, latency spikes,
 //                        stragglers, slow shards) and print the recovery
 //                        statistics.
+//        --volatility[=seed]  rerun the ByteScheduler job on a volatile
+//                        network fabric (seeded random-walk link drift,
+//                        on/off cross traffic, loss-driven AIMD pacing) and
+//                        print the rate-control activity. Deterministic:
+//                        the same seed always produces the same run.
 //        --trace[=path]  write a Chrome/Perfetto trace of the ByteScheduler
 //                        job (default path trace.json)
 //        --metrics[=path] write its metrics snapshot (default metrics.json)
@@ -43,6 +48,11 @@ int main(int argc, char** argv) {
   const bool chaos = flags.Has("chaos");
   const uint64_t chaos_seed =
       flags.GetBool("chaos", false) ? 1 : static_cast<uint64_t>(flags.GetInt("chaos", 1));
+  const bool volatility = flags.Has("volatility");
+  const uint64_t volatility_seed =
+      flags.GetBool("volatility", false)
+          ? 1
+          : static_cast<uint64_t>(flags.GetInt("volatility", 1));
   const ObsFlags obs = ParseObsFlags(flags);
   TraceRecorder trace;
   MetricsRegistry metrics;
@@ -117,6 +127,34 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(chaos_seed), chaotic.samples_per_sec,
                 100.0 * (chaotic.samples_per_sec / scheduled.samples_per_sec - 1.0));
     std::printf("    %s\n", chaotic.fault_stats.DebugString().c_str());
+  }
+
+  if (volatility) {
+    job.mode = SchedMode::kByteScheduler;
+    job.partition_bytes = tuned.partition_bytes;
+    job.credit_bytes = tuned.credit_bytes;
+    // The obs sinks (if any) already observed the calm ByteScheduler job or
+    // the chaos rerun above; each recorder attaches to exactly one run.
+    job.trace = nullptr;
+    job.metrics = nullptr;
+    job.timeseries = nullptr;
+    NetDynamicsConfig dyn;
+    dyn.seed = volatility_seed;
+    dyn.volatility_amplitude = 0.7;
+    dyn.volatility_period = SimTime::Millis(2);
+    dyn.cross_flows = 2;
+    dyn.cross_load = 0.5;
+    dyn.down_scale = 0.8;
+    dyn.aimd.enable = true;
+    job.dynamics = dyn;
+    const JobResult stormy = RunTrainingJob(job);
+    std::printf("  volatility (seed %llu): %8.1f images/sec (%+.1f%% vs calm fabric)\n",
+                static_cast<unsigned long long>(volatility_seed), stormy.samples_per_sec,
+                100.0 * (stormy.samples_per_sec / scheduled.samples_per_sec - 1.0));
+    std::printf("    aimd: %llu decreases, %llu increases; %llu in-flight repaces\n",
+                static_cast<unsigned long long>(stormy.rate_ctrl_decreases),
+                static_cast<unsigned long long>(stormy.rate_ctrl_increases),
+                static_cast<unsigned long long>(stormy.link_repaces));
   }
 
   if (!obs.trace_path.empty()) {

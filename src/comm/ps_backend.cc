@@ -74,6 +74,8 @@ PsBackend::PsBackend(Simulator* sim, const PsConfig& config) : sim_(sim), config
   slots_.resize(static_cast<size_t>(config_.num_shards));
   pending_acks_.resize(static_cast<size_t>(config_.num_workers));
   push_retransmits_.assign(static_cast<size_t>(config_.num_workers), 0);
+  push_rounds_.resize(static_cast<size_t>(config_.num_workers));
+  stale_push_drops_.assign(static_cast<size_t>(config_.num_shards), 0);
   if (config_.faults != nullptr) {
     BSCHED_CHECK(config_.retry_backoff >= 1.0);
     BSCHED_CHECK(config_.max_push_retries >= 0);
@@ -88,6 +90,34 @@ PsBackend::PsBackend(Simulator* sim, const PsConfig& config) : sim_(sim), config
     for (auto& link : ingresses_) link->SetObs(config_.obs);
     for (auto& link : egresses_) link->SetObs(config_.obs);
   }
+  if (config_.dynamics != nullptr && config_.dynamics->enabled()) {
+    const NetDynamicsConfig& dyn = *config_.dynamics;
+    BSCHED_CHECK(dyn.racks <= 1 || config_.num_workers >= 1);
+    // Each link's schedule is keyed on its stable name; the asymmetric
+    // down_scale derates the worker receive direction.
+    for (auto& link : uplinks_) link->SetRateModel(BuildLinkRateModel(dyn, link->name(), false));
+    for (auto& link : downlinks_) link->SetRateModel(BuildLinkRateModel(dyn, link->name(), true));
+    for (auto& link : ingresses_) link->SetRateModel(BuildLinkRateModel(dyn, link->name(), false));
+    for (auto& link : egresses_) link->SetRateModel(BuildLinkRateModel(dyn, link->name(), false));
+    if (dyn.aimd.enable) {
+      for (int w = 0; w < config_.num_workers; ++w) {
+        rate_ctrl_.push_back(std::make_unique<RateController>(uplinks_[w].get(), dyn.aimd));
+      }
+    }
+  }
+}
+
+uint64_t PsBackend::link_repaces() const {
+  uint64_t total = 0;
+  for (const auto& link : uplinks_) total += link->repace_events();
+  for (const auto& link : downlinks_) total += link->repace_events();
+  for (const auto& link : ingresses_) total += link->repace_events();
+  for (const auto& link : egresses_) total += link->repace_events();
+  return total;
+}
+
+double PsBackend::MsgScale(int worker, int shard) const {
+  return config_.dynamics != nullptr ? CrossRackScale(*config_.dynamics, worker, shard) : 1.0;
 }
 
 bool PsBackend::Tracing() const {
@@ -135,10 +165,23 @@ void PsBackend::HandlePush(const SubCommTask& subtask, std::function<void()> on_
   const int worker = subtask.worker;
   Simulator* wsim = WorkerSim(worker);
   const SimTime submit = wsim->Now();
+  // Aggregation round for this slot from this worker: the data leg and any
+  // retransmits of it all carry this round number, letting the shard drop a
+  // stale duplicate whose original also made it through. A fresh push task
+  // opens a new round; a Core-level retry re-enters here with the *same*
+  // task id and must stay in its round, or its duplicate copy would count
+  // as a phantom arrival in the next one.
+  auto& prev = push_rounds_[worker][AckKey{subtask.tensor_id, subtask.partition}];
+  if (prev.first != subtask.task || prev.second == 0) {
+    prev.first = subtask.task;
+    ++prev.second;
+  }
+  const uint64_t round = prev.second;
   uplinks_[worker]->SendCrossShard(
-      subtask.bytes,
+      subtask.bytes, MsgScale(worker, shard),
       /*on_flushed=*/
-      [this, subtask, shard, worker, wsim, submit, on_finish = std::move(on_finish)]() mutable {
+      [this, subtask, shard, worker, wsim, submit, round,
+       on_finish = std::move(on_finish)]() mutable {
         // Sender-side completion (the stack flushed the partition): this is
         // what returns scheduler credit, after a small completion latency.
         // From here the data leg is the backend's responsibility; with faults
@@ -156,44 +199,45 @@ void PsBackend::HandlePush(const SubCommTask& subtask, std::function<void()> on_
           }
         }
         if (config_.faults != nullptr) {
-          ArmPushAckTimer(subtask, shard, /*attempt=*/0);
+          ArmPushAckTimer(subtask, shard, /*attempt=*/0, round);
         }
         // Flush notification goes to this worker's own scheduler core — a
         // same-entity hop, so it stays a local schedule in sharded mode too.
         wsim->Schedule(config_.control_latency, std::move(on_finish));
       },
       /*deliver=*/
-      [this, subtask, shard, worker](SimTime wire) {
+      [this, subtask, shard, worker, round](SimTime wire) {
         // Store-and-forward: after the wire flight the partition serializes
         // into the shard NIC, where copies from all workers contend.
         Forward(worker_cshard_[worker], shard_cshard_[shard],
-                Chan(kChanPushData, worker, shard), wire, [this, subtask, shard] {
-                  ingresses_[shard]->Send(subtask.bytes, [this, subtask, shard] {
-                    OnPushArrived(subtask, shard);
+                Chan(kChanPushData, worker, shard), wire, [this, subtask, shard, round] {
+                  ingresses_[shard]->Send(subtask.bytes, [this, subtask, shard, round] {
+                    OnPushArrived(subtask, shard, round);
                   });
                 });
       });
 }
 
-void PsBackend::SendPushData(const SubCommTask& subtask, int shard) {
+void PsBackend::SendPushData(const SubCommTask& subtask, int shard, uint64_t round) {
   // Retransmission path: re-occupies the uplink (a resend spends real
   // bandwidth) but carries no flush callback — credit was already returned.
   // Shares the first transmission's channel: both ride the same FIFO uplink,
   // so their flush order (and thus channel order) matches wire order.
   const int worker = subtask.worker;
   uplinks_[worker]->SendCrossShard(
-      subtask.bytes, /*on_flushed=*/nullptr,
-      [this, subtask, shard, worker](SimTime wire) {
+      subtask.bytes, MsgScale(worker, shard), /*on_flushed=*/nullptr,
+      [this, subtask, shard, worker, round](SimTime wire) {
         Forward(worker_cshard_[worker], shard_cshard_[shard],
-                Chan(kChanPushData, worker, shard), wire, [this, subtask, shard] {
-                  ingresses_[shard]->Send(subtask.bytes, [this, subtask, shard] {
-                    OnPushArrived(subtask, shard);
+                Chan(kChanPushData, worker, shard), wire, [this, subtask, shard, round] {
+                  ingresses_[shard]->Send(subtask.bytes, [this, subtask, shard, round] {
+                    OnPushArrived(subtask, shard, round);
                   });
                 });
       });
 }
 
-void PsBackend::ArmPushAckTimer(const SubCommTask& subtask, int shard, int attempt) {
+void PsBackend::ArmPushAckTimer(const SubCommTask& subtask, int shard, int attempt,
+                                uint64_t round) {
   // Runs on (and schedules on) the owning worker's simulator.
   const int worker = subtask.worker;
   const AckKey key{subtask.tensor_id, subtask.partition};
@@ -207,7 +251,8 @@ void PsBackend::ArmPushAckTimer(const SubCommTask& subtask, int shard, int attem
   }
   const SimTime timeout = SimTime(
       static_cast<int64_t>(static_cast<double>(config_.push_ack_timeout.nanos()) * scale));
-  pending = WorkerSim(worker)->Schedule(timeout, [this, subtask, shard, worker, attempt]() {
+  pending = WorkerSim(worker)->Schedule(timeout, [this, subtask, shard, worker, attempt,
+                                                  round]() {
     pending_acks_[worker].erase(AckKey{subtask.tensor_id, subtask.partition});
     BSCHED_CHECK(attempt < config_.max_push_retries &&
                  "push data leg exhausted its retransmit budget");
@@ -216,8 +261,13 @@ void PsBackend::ArmPushAckTimer(const SubCommTask& subtask, int shard, int attem
       config_.faults->RecordBackendRetransmit(worker, subtask.layer, subtask.partition,
                                               attempt + 1);
     }
-    ArmPushAckTimer(subtask, shard, attempt + 1);
-    SendPushData(subtask, shard);
+    if (!rate_ctrl_.empty()) {
+      // Loss signal: the data leg timed out, so back off this worker's
+      // uplink before spending bandwidth on the retransmit.
+      rate_ctrl_[worker]->OnLoss();
+    }
+    ArmPushAckTimer(subtask, shard, attempt + 1, round);
+    SendPushData(subtask, shard, round);
   });
 }
 
@@ -251,9 +301,24 @@ void PsBackend::RecordUpdateSpan(int shard, int64_t tensor, int partition, uint6
   }
 }
 
-void PsBackend::OnPushArrived(const SubCommTask& subtask, int shard) {
+void PsBackend::OnPushArrived(const SubCommTask& subtask, int shard, uint64_t round) {
   // Runs on the PS shard's simulator.
   const int worker = subtask.worker;
+  {
+    // Round guard: drop a copy whose round was already counted — its ack
+    // timer fired while the original was merely slow (long outage window or
+    // a heavily derated volatile link) and both copies arrived. Counting it
+    // would seed the slot's *next* aggregation round with a phantom arrival.
+    // Checked before the ack-cancel below: any pending timer now belongs to
+    // a newer round and must keep running.
+    uint64_t& accepted =
+        slots_[shard][{subtask.tensor_id, subtask.partition}].accepted_round[worker];
+    if (round <= accepted) {
+      ++stale_push_drops_[shard];
+      return;
+    }
+    accepted = round;
+  }
   if (config_.faults != nullptr) {
     if (!Sharded()) {
       auto& acks = pending_acks_[worker];
@@ -261,6 +326,9 @@ void PsBackend::OnPushArrived(const SubCommTask& subtask, int shard) {
       if (ack != acks.end()) {
         ack->second.Cancel();
         acks.erase(ack);
+        if (!rate_ctrl_.empty()) {
+          rate_ctrl_[worker]->OnAck();
+        }
       }
     } else {
       // The ack timer lives on the worker's shard: send an explicit ack
@@ -276,6 +344,11 @@ void PsBackend::OnPushArrived(const SubCommTask& subtask, int shard) {
             if (it != acks.end()) {
               it->second.Cancel();
               acks.erase(it);
+              // Clean ack: recover the uplink's pacing. Runs on the worker's
+              // own shard, like the timer it cancels.
+              if (!rate_ctrl_.empty()) {
+                rate_ctrl_[worker]->OnAck();
+              }
             }
           });
     }
@@ -390,7 +463,7 @@ void PsBackend::DeliverPull(int shard, const SubCommTask& subtask, Bytes bytes,
     };
   }
   egresses_[shard]->SendCrossShard(
-      bytes, /*on_flushed=*/nullptr,
+      bytes, MsgScale(worker, shard), /*on_flushed=*/nullptr,
       [this, shard, worker, bytes, on_finish = std::move(on_finish)](SimTime wire) mutable {
         Forward(shard_cshard_[shard], worker_cshard_[worker],
                 Chan(kChanPullData, shard, worker), wire,
@@ -409,6 +482,9 @@ void PsBackend::ResetAggregationState() {
       handle.Cancel();
     }
     worker_acks.clear();
+  }
+  for (auto& worker_rounds : push_rounds_) {
+    worker_rounds.clear();
   }
 }
 
@@ -452,6 +528,12 @@ void PsBackend::ExportMetrics() {
     m->gauge(prefix + ".cpu_busy_ns")->Set(shard_cpus_[s]->busy_time().nanos());
   }
   m->counter("ps.push_retransmits")->Inc(push_retransmits());
+  // Always exported (zero without dynamics) so the metric key set is stable
+  // across configurations, like the fault.* counters.
+  m->counter("net.rate_ctrl.decreases")->Inc(rate_ctrl_decreases());
+  m->counter("net.rate_ctrl.increases")->Inc(rate_ctrl_increases());
+  m->counter("net.link_repaces")->Inc(link_repaces());
+  m->counter("net.stale_push_drops")->Inc(stale_push_drops());
 }
 
 std::string PsBackend::DebugString() const {

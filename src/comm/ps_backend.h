@@ -42,6 +42,8 @@
 #include "src/comm/backend.h"
 #include "src/fault/fault_injector.h"
 #include "src/net/link.h"
+#include "src/net/net_dynamics.h"
+#include "src/net/rate_controller.h"
 #include "src/net/transport.h"
 #include "src/sim/resource.h"
 #include "src/sim/shard_coordinator.h"
@@ -79,6 +81,15 @@ struct PsConfig {
   SimTime push_ack_timeout = SimTime::Millis(25);
   double retry_backoff = 2.0;
   int max_push_retries = 12;
+
+  // Dynamic-network fabric (null disables; the legacy fixed-rate link path is
+  // then byte-identical to a build without dynamics). When enabled, every
+  // link gets a deterministic RateModel keyed on (seed, link name), worker
+  // uplinks optionally get AIMD rate controllers fed by the push ack timers,
+  // and cross-rack transfers under the two-tier topology are paced at
+  // line_rate / oversubscription. All decisions run on the owning entity's
+  // simulator, so sharded runs stay bit-identical at any shard count.
+  const NetDynamicsConfig* dynamics = nullptr;
 
   // Sharded parallel-DES mode. When set, each worker's entities (uplink,
   // downlink, ack timers) live on coordinator shard (worker % shards) and
@@ -140,6 +151,30 @@ class PsBackend : public CommBackend {
     return total;
   }
 
+  // AIMD rate-control activity (0 without dynamics); commutative sums over
+  // workers/links, so totals are shard-count-invariant.
+  uint64_t rate_ctrl_decreases() const {
+    uint64_t total = 0;
+    for (const auto& c : rate_ctrl_) total += c->decreases();
+    return total;
+  }
+  uint64_t rate_ctrl_increases() const {
+    uint64_t total = 0;
+    for (const auto& c : rate_ctrl_) total += c->increases();
+    return total;
+  }
+  // In-flight transfers re-paced by controller rate changes, over all links.
+  uint64_t link_repaces() const;
+
+  // Stale retransmitted push copies dropped at the shard because their round
+  // was already counted (both the original and the retransmit arrived).
+  // Summed over shards, so the total is shard-count-invariant.
+  uint64_t stale_push_drops() const {
+    uint64_t total = 0;
+    for (uint64_t d : stale_push_drops_) total += d;
+    return total;
+  }
+
   // Exports end-of-run metrics (per-link busy time, per-shard bytes/CPU
   // time, retransmit count) into the obs registry. No-op without obs.
   void ExportMetrics();
@@ -158,6 +193,13 @@ class PsBackend : public CommBackend {
     // a count) so retransmitted duplicates cannot inflate the round.
     std::set<int> arrived;
     bool aggregated = false;
+    // Highest push round accepted per worker. Every data leg carries its
+    // sender-side round number; a copy at or below the accepted round is a
+    // stale duplicate — its retransmit timer fired while the original was
+    // merely slow (a long outage or a heavily derated volatile link), both
+    // copies arrived, and counting the second would pollute the *next*
+    // aggregation round for this slot.
+    std::map<int, uint64_t> accepted_round;
     // Pull deliveries admitted before aggregation completed.
     std::vector<PendingPull> pending_pulls;
   };
@@ -180,13 +222,17 @@ class PsBackend : public CommBackend {
   int ShardFor(int64_t tensor_id, int partition) const;
   void HandlePush(const SubCommTask& subtask, std::function<void()> on_finish);
   void HandlePull(const SubCommTask& subtask, std::function<void()> on_finish);
-  void OnPushArrived(const SubCommTask& subtask, int shard);
+  void OnPushArrived(const SubCommTask& subtask, int shard, uint64_t round);
   // `bytes` is the delivered payload size: the pull's own size on the direct
   // path, the aggregating push's size when replayed from pending_pulls.
   void DeliverPull(int shard, const SubCommTask& subtask, Bytes bytes,
                    std::function<void()> on_finish);
-  void SendPushData(const SubCommTask& subtask, int shard);
-  void ArmPushAckTimer(const SubCommTask& subtask, int shard, int attempt);
+  void SendPushData(const SubCommTask& subtask, int shard, uint64_t round);
+  void ArmPushAckTimer(const SubCommTask& subtask, int shard, int attempt, uint64_t round);
+  // Pacing multiplier for one worker<->shard transfer (1.0 without the
+  // two-tier topology; 1/oversubscription across racks). Applied on the
+  // sender-side link, where the per-message overhead is paid.
+  double MsgScale(int worker, int shard) const;
   SimTime ScaledUpdateTime(int shard, Bytes bytes) const;
   // Runs `fn` on the destination entity `delay` after the caller's now.
   // Serial: schedule on sim_ (delay 0 runs inline, matching the link wrapper
@@ -216,6 +262,17 @@ class PsBackend : public CommBackend {
   // partitioned by worker, whose simulator owns the timers.
   std::vector<std::map<AckKey, EventHandle>> pending_acks_;
   std::vector<uint64_t> push_retransmits_;  // per worker
+  // Sender-side push round per (tensor, partition): (last push task id,
+  // round). A new task id is a new aggregation round; a repeated id is a
+  // Core-level retry of the same push, which re-enters HandlePush but must
+  // keep its original round so the shard can recognise duplicate copies.
+  // The round rides the data leg and all its retransmits and is checked
+  // against SlotState::accepted_round at the shard. Partitioned by worker.
+  std::vector<std::map<AckKey, std::pair<CommTaskId, uint64_t>>> push_rounds_;
+  std::vector<uint64_t> stale_push_drops_;  // per shard
+  // Per-worker AIMD controllers on the uplinks (empty unless dynamics with
+  // aimd.enable); each runs on its worker's simulator.
+  std::vector<std::unique_ptr<RateController>> rate_ctrl_;
 };
 
 }  // namespace bsched

@@ -108,13 +108,19 @@ bool FaultPlan::DropMessage(uint64_t site_hash, uint64_t msg_index, SimTime now)
 SimTime FaultPlan::ExtraLatency(uint64_t site_hash, SimTime now) const {
   SimTime extra;
   for (const FaultEpisode& ep : episodes_) {
-    if (!Applies(ep, site_hash, now)) {
-      continue;
-    }
-    if (ep.kind == FaultKind::kLatencySpike) {
+    if (ep.kind == FaultKind::kLatencySpike && Applies(ep, site_hash, now)) {
       extra += ep.delay;
-    } else if (ep.kind == FaultKind::kLinkDown) {
-      // The message sits in the retransmission queue until the link is back.
+    }
+  }
+  return extra + OutageDeferral(site_hash, now);
+}
+
+SimTime FaultPlan::OutageDeferral(uint64_t site_hash, SimTime now) const {
+  SimTime extra;
+  for (const FaultEpisode& ep : episodes_) {
+    if (ep.kind == FaultKind::kLinkDown && Applies(ep, site_hash, now)) {
+      // The message sits in the retransmission queue until the link is back:
+      // the integral of the episode's zero-rate window from `now` on.
       extra += ep.end - now;
     }
   }

@@ -94,9 +94,16 @@ class FaultPlan {
   // Message fate on a link site. `msg_index` is the site-local message
   // counter, making the drop draw independent of unrelated traffic.
   bool DropMessage(uint64_t site_hash, uint64_t msg_index, SimTime now) const;
-  // Added delivery delay: latency spikes plus deferral to the end of any
-  // active link-down window.
+  // Added delivery delay: latency spikes plus OutageDeferral.
   SimTime ExtraLatency(uint64_t site_hash, SimTime now) const;
+  // Link-down semantics in one place: a down link is a link at rate 0 for the
+  // outage window, so a delivery attempted at `now` defers by the remaining
+  // zero-rate time of every active link-down episode. Both the discrete fault
+  // path (Link::FinishSend via ExtraLatency) and RateModel-based zero-rate
+  // schedules express outages through this window arithmetic; keeping it here
+  // keeps recovery counters identical between the two
+  // (tests/fault_test.cc cross-checks).
+  SimTime OutageDeferral(uint64_t site_hash, SimTime now) const;
 
   // Multiplicative slowdown factors (1.0 == unaffected).
   double ComputeFactor(int worker, SimTime now) const;

@@ -1,7 +1,10 @@
 #include "src/net/link.h"
 
+#include <algorithm>
+#include <cmath>
 #include <utility>
 
+#include "src/common/check.h"
 #include "src/obs/obs.h"
 
 namespace bsched {
@@ -42,6 +45,24 @@ void Link::ExportMetrics() {
   obs_->metrics()->gauge("net." + resource_.name() + ".busy_ns")->Set(busy_time().nanos());
 }
 
+SimTime Link::busy_time() const {
+  return dyn_ != nullptr ? dyn_->busy_time : resource_.busy_time();
+}
+
+uint64_t Link::messages_sent() const {
+  return dyn_ != nullptr ? dyn_->msgs_done : resource_.jobs_completed();
+}
+
+size_t Link::queue_length() const {
+  return dyn_ != nullptr ? dyn_->queue.size() : resource_.queue_length();
+}
+
+bool Link::busy() const { return dyn_ != nullptr ? dyn_->busy : resource_.busy(); }
+
+SimTime Link::DrainTime() const {
+  return dyn_ != nullptr ? DynDrainTime() : resource_.DrainTime();
+}
+
 void Link::SendWithFlush(Bytes size, std::function<void()> on_flushed,
                          std::function<void()> on_delivered) {
   if (!on_delivered) {
@@ -62,41 +83,206 @@ void Link::SendWithFlush(Bytes size, std::function<void()> on_flushed,
 
 void Link::SendCrossShard(Bytes size, std::function<void()> on_flushed,
                           std::function<void(SimTime)> deliver) {
+  SendCrossShard(size, 1.0, std::move(on_flushed), std::move(deliver));
+}
+
+void Link::SendCrossShard(Bytes size, double msg_scale, std::function<void()> on_flushed,
+                          std::function<void(SimTime)> deliver) {
   bytes_sent_ += size;
   if (obs_bytes_ != nullptr) {
     obs_bytes_->Inc(static_cast<uint64_t>(size));
     obs_msgs_->Inc();
     // Sender-side queueing delay this message will experience behind the
     // work already on the wire. Passive: reads drain state, schedules nothing.
-    obs_queue_ns_->Observe((resource_.DrainTime() - sim_->Now()).nanos());
+    obs_queue_ns_->Observe((DrainTime() - sim_->Now()).nanos());
     obs_inflight_->Add(size);
   }
-  const SimTime latency = transport_.latency;
-  resource_.Submit(MessageTime(size), [this, size, latency, on_flushed = std::move(on_flushed),
+  if (dyn_ != nullptr) {
+    DynSend(size, msg_scale, std::move(on_flushed), std::move(deliver));
+    return;
+  }
+  BSCHED_CHECK(msg_scale == 1.0 && "per-message pacing needs a RateModel installed");
+  resource_.Submit(MessageTime(size), [this, size, on_flushed = std::move(on_flushed),
                                        deliver = std::move(deliver)]() mutable {
-    // Flush == left the NIC queue; decrement here so fault drops (which
-    // never deliver) still settle the gauge.
-    if (obs_inflight_ != nullptr) {
-      obs_inflight_->Add(-size);
-    }
-    if (on_flushed) {
-      on_flushed();
-    }
-    if (!deliver) {
-      return;
-    }
-    SimTime total = latency;
-    if (faults_ != nullptr) {
-      // Fault fate is decided at flush time: the sender's NIC accepted the
-      // message, but the wire may lose or delay it.
-      const FaultInjector::MessageFault fate = faults_->OnMessageSend(site_hash_, sim_->Now());
-      if (fate.drop) {
-        return;  // lost in the network; recovery retransmits
-      }
-      total += fate.delay;
-    }
-    deliver(total);
+    FinishSend(size, on_flushed, deliver);
   });
+}
+
+void Link::FinishSend(Bytes size, std::function<void()>& on_flushed,
+                      std::function<void(SimTime)>& deliver) {
+  // Flush == left the NIC queue; decrement here so fault drops (which
+  // never deliver) still settle the gauge.
+  if (obs_inflight_ != nullptr) {
+    obs_inflight_->Add(-size);
+  }
+  if (on_flushed) {
+    on_flushed();
+  }
+  if (!deliver) {
+    return;
+  }
+  SimTime total = transport_.latency;
+  if (faults_ != nullptr) {
+    // Fault fate is decided at flush time: the sender's NIC accepted the
+    // message, but the wire may lose or delay it. A link-down fault defers
+    // delivery to the outage's end — the discrete-fault face of "rate 0 for
+    // the outage window" (FaultPlan::OutageDeferral), shared with RateModel
+    // zero-rate segments.
+    const FaultInjector::MessageFault fate = faults_->OnMessageSend(site_hash_, sim_->Now());
+    if (fate.drop) {
+      return;  // lost in the network; recovery retransmits
+    }
+    total += fate.delay;
+  }
+  deliver(total);
+}
+
+// --- Dynamic rate path ----------------------------------------------------
+
+void Link::SetRateModel(RateModel model) {
+  BSCHED_CHECK(dyn_ == nullptr && "rate model already installed");
+  BSCHED_CHECK(bytes_sent_ == 0 && !resource_.busy() &&
+               "install the rate model before any traffic");
+  dyn_ = std::make_unique<DynState>();
+  dyn_->model = std::move(model);
+}
+
+double Link::DynRate(SimTime t) const {
+  const DynState& d = *dyn_;
+  // Operation order matters for the zero-cost contract: with all scales at
+  // 1.0 this must reduce to exactly EffectiveRate's line * efficiency.
+  const double scale = d.model.ScaleAt(t) * d.ctrl_scale * d.current.msg_scale;
+  return std::min(line_rate_.bytes_per_sec() * scale * transport_.efficiency,
+                  transport_.goodput_cap.bytes_per_sec());
+}
+
+SimTime Link::DynFinishTime() const {
+  const DynState& d = *dyn_;
+  double remaining = d.remaining;
+  SimTime t = d.anchor;
+  while (true) {
+    const SimTime next = d.model.NextChangeAfter(t);
+    const double rate = DynRate(t);
+    if (rate <= 0.0) {
+      // Zero-rate window (outage segment); progress resumes at the next step.
+      BSCHED_CHECK(next < SimTime::Max() && "transfer stalled on a terminal zero-rate segment");
+      t = next;
+      continue;
+    }
+    // Same arithmetic as Bandwidth::TransmitTime so the identity schedule
+    // lands on the identical nanosecond.
+    const SimTime fin = t + SimTime(static_cast<int64_t>(std::llround(remaining / rate * 1e9)));
+    if (next == SimTime::Max() || fin <= next) {
+      return fin;
+    }
+    remaining -= rate * (next - t).ToSeconds();
+    if (remaining < 0.0) remaining = 0.0;
+    t = next;
+  }
+}
+
+void Link::DynDrainUntil(SimTime until) {
+  DynState& d = *dyn_;
+  if (until <= d.anchor) {
+    return;  // still paying serial overhead; nothing serialized yet
+  }
+  SimTime t = d.anchor;
+  while (t < until) {
+    const SimTime next = std::min(d.model.NextChangeAfter(t), until);
+    const double rate = DynRate(t);
+    if (rate > 0.0) {
+      d.remaining -= rate * (next - t).ToSeconds();
+      if (d.remaining < 0.0) d.remaining = 0.0;
+    }
+    t = next;
+  }
+  d.anchor = until;
+}
+
+void Link::DynSend(Bytes size, double msg_scale, std::function<void()> on_flushed,
+                   std::function<void(SimTime)> deliver) {
+  BSCHED_CHECK(msg_scale > 0.0);
+  dyn_->queue.push_back(DynMessage{size, msg_scale, std::move(on_flushed), std::move(deliver)});
+  if (!dyn_->busy) {
+    DynStartNext();
+  }
+}
+
+void Link::DynStartNext() {
+  DynState& d = *dyn_;
+  BSCHED_DCHECK(!d.busy);
+  if (d.queue.empty()) {
+    return;
+  }
+  d.current = std::move(d.queue.front());
+  d.queue.pop_front();
+  d.busy = true;
+  d.busy_since = sim_->Now();
+  d.remaining = static_cast<double>(d.current.size);
+  d.anchor = sim_->Now() + transport_.serial_overhead;
+  DynScheduleCompletion();
+}
+
+void Link::DynScheduleCompletion() {
+  DynState& d = *dyn_;
+  d.completion_at = DynFinishTime();
+  d.completion = sim_->Schedule(d.completion_at - sim_->Now(), [this] { DynOnComplete(); });
+}
+
+void Link::DynOnComplete() {
+  DynState& d = *dyn_;
+  d.busy = false;
+  d.busy_time += sim_->Now() - d.busy_since;
+  ++d.msgs_done;
+  DynMessage msg = std::move(d.current);
+  // Completion callbacks run before the next message starts, mirroring
+  // Resource::OnJobDone (the ACK handler fires before the NIC pulls the next
+  // WQE). A callback may submit new traffic, which starts itself.
+  FinishSend(msg.size, msg.on_flushed, msg.deliver);
+  if (!d.busy && !d.queue.empty()) {
+    DynStartNext();
+  }
+}
+
+void Link::SetCtrlScale(double scale) {
+  BSCHED_CHECK(dyn_ != nullptr && "SetCtrlScale needs the dynamic path installed");
+  BSCHED_CHECK(scale > 0.0);
+  DynState& d = *dyn_;
+  if (scale == d.ctrl_scale) {
+    return;
+  }
+  if (d.busy) {
+    // Settle bytes serialized under the old scale, then re-pace the rest.
+    DynDrainUntil(sim_->Now());
+    d.ctrl_scale = scale;
+    d.completion.Cancel();
+    ++d.repaces;
+    DynScheduleCompletion();
+  } else {
+    d.ctrl_scale = scale;
+  }
+}
+
+SimTime Link::DynDrainTime() const {
+  const DynState& d = *dyn_;
+  SimTime t = d.busy ? d.completion_at : sim_->Now();
+  for (const DynMessage& m : d.queue) {
+    // Nominal estimate at the message's pacing scale (matches the legacy
+    // DrainTime exactly when scales are 1.0).
+    t += transport_.MessageTime(Bandwidth::BytesPerSec(line_rate_.bytes_per_sec() * m.msg_scale),
+                                m.size);
+  }
+  return t;
+}
+
+double Link::CurrentRateBps() const {
+  if (dyn_ == nullptr) {
+    return effective_rate().bytes_per_sec();
+  }
+  const DynState& d = *dyn_;
+  const double scale = d.model.ScaleAt(sim_->Now()) * d.ctrl_scale;
+  return std::min(line_rate_.bytes_per_sec() * scale * transport_.efficiency,
+                  transport_.goodput_cap.bytes_per_sec());
 }
 
 DuplexLink::DuplexLink(Simulator* sim, const std::string& name, Bandwidth line_rate,

@@ -3,14 +3,29 @@
 // directions of a full-duplex NIC, which is what makes the paper's
 // push/pull pipelining argument observable (partitioned tensors keep both
 // directions busy; unpartitioned ones waste half the bandwidth).
+//
+// Two transmission paths share one flush/fault/deliver epilogue:
+//   - Legacy fixed-rate path (default): occupancy is a single Resource job of
+//     MessageTime(size). Zero-cost contract: without a RateModel installed the
+//     event sequence is bit-identical to what it was before dynamics existed.
+//   - Dynamic path (SetRateModel): occupancy integrates the link's
+//     time-varying rate — schedule scale × AIMD controller scale × per-message
+//     scale (cross-rack derating) — re-pacing the in-flight transfer whenever
+//     the controller changes rates mid-message. With an identity schedule and
+//     unit scales the integral collapses to the exact legacy arithmetic
+//     (same llround, same operation order), so enabled-but-idle dynamics
+//     reproduce legacy timings bit-for-bit.
 #ifndef SRC_NET_LINK_H_
 #define SRC_NET_LINK_H_
 
+#include <deque>
 #include <functional>
+#include <memory>
 #include <string>
 
 #include "src/common/units.h"
 #include "src/fault/fault_injector.h"
+#include "src/net/rate_model.h"
 #include "src/net/transport.h"
 #include "src/sim/resource.h"
 #include "src/sim/simulator.h"
@@ -46,19 +61,45 @@ class Link {
   // never invoke `deliver`, exactly as they never invoke on_delivered.
   void SendCrossShard(Bytes size, std::function<void()> on_flushed,
                       std::function<void(SimTime wire_flight)> deliver);
+  // With a per-message pacing scale (two-tier topology: cross-rack transfers
+  // run at line_rate / oversubscription). Requires the dynamic path unless
+  // msg_scale == 1.0.
+  void SendCrossShard(Bytes size, double msg_scale, std::function<void()> on_flushed,
+                      std::function<void(SimTime wire_flight)> deliver);
 
-  // Time a message of `size` occupies this link (excludes pipelined latency).
+  // Time a message of `size` occupies this link at the nominal (static) rate
+  // (excludes pipelined latency). Scheduler estimates use this even under
+  // dynamics — admission planning sees the advertised rate, not the future.
   SimTime MessageTime(Bytes size) const { return transport_.MessageTime(line_rate_, size); }
 
   Bandwidth effective_rate() const { return transport_.EffectiveRate(line_rate_); }
   const TransportModel& transport() const { return transport_; }
 
   Bytes bytes_sent() const { return bytes_sent_; }
-  SimTime busy_time() const { return resource_.busy_time(); }
-  uint64_t messages_sent() const { return resource_.jobs_completed(); }
-  size_t queue_length() const { return resource_.queue_length(); }
-  bool busy() const { return resource_.busy(); }
+  SimTime busy_time() const;
+  uint64_t messages_sent() const;
+  size_t queue_length() const;
+  bool busy() const;
   const std::string& name() const { return resource_.name(); }
+  // Virtual time at which all currently queued work will have drained
+  // (queued messages estimated at their nominal per-message rate).
+  SimTime DrainTime() const;
+
+  // --- Dynamic rate path -----------------------------------------------
+  // Installs a time-varying capacity schedule and switches transmissions to
+  // the integrating path. Must be called before any traffic.
+  void SetRateModel(RateModel model);
+  bool has_rate_model() const { return dyn_ != nullptr; }
+  // AIMD controller hook: rescales the link's pacing and re-paces the
+  // in-flight transfer from the bytes it has actually serialized so far.
+  void SetCtrlScale(double scale);
+  double ctrl_scale() const { return dyn_ != nullptr ? dyn_->ctrl_scale : 1.0; }
+  // In-flight transfers re-paced by controller rate changes (obs counter).
+  uint64_t repace_events() const { return dyn_ != nullptr ? dyn_->repaces : 0; }
+  // Instantaneous effective rate (bytes/sec) under the current schedule and
+  // controller scale; static effective rate when no model is installed.
+  // Passive — feeds the time-series rate gauges.
+  double CurrentRateBps() const;
 
   // Fault injection: when set, every delivery consults the injector at flush
   // time — a dropped message pays its occupancy (the sender flushed it) but
@@ -76,6 +117,52 @@ class Link {
   void ExportMetrics();
 
  private:
+  struct DynMessage {
+    Bytes size = 0;
+    double msg_scale = 1.0;
+    std::function<void()> on_flushed;
+    std::function<void(SimTime)> deliver;
+  };
+  // State for the dynamic path; allocated only by SetRateModel so idle links
+  // pay one pointer of overhead.
+  struct DynState {
+    RateModel model;
+    double ctrl_scale = 1.0;
+    std::deque<DynMessage> queue;
+    bool busy = false;
+    DynMessage current;
+    // Payload bytes left to serialize as of `anchor` (transmission starts at
+    // message start + serial_overhead; before that, anchor is that start).
+    double remaining = 0.0;
+    SimTime anchor;
+    SimTime busy_since;
+    SimTime completion_at;
+    EventHandle completion;
+    SimTime busy_time;
+    uint64_t msgs_done = 0;
+    uint64_t repaces = 0;
+  };
+
+  // Shared epilogue for both paths: inflight gauge, flush callback, fault
+  // fate, delivery handoff. Runs at occupancy end.
+  void FinishSend(Bytes size, std::function<void()>& on_flushed,
+                  std::function<void(SimTime)>& deliver);
+
+  void DynSend(Bytes size, double msg_scale, std::function<void()> on_flushed,
+               std::function<void(SimTime)> deliver);
+  void DynStartNext();
+  void DynScheduleCompletion();
+  void DynOnComplete();
+  // Settles `remaining` through the rate trajectory up to `until` (controller
+  // rate changes integrate the old scale before switching).
+  void DynDrainUntil(SimTime until);
+  // Completion time of the current message from (anchor, remaining) by
+  // walking the schedule's segments.
+  SimTime DynFinishTime() const;
+  // Effective serialization rate (bytes/sec) for the current message at t.
+  double DynRate(SimTime t) const;
+  SimTime DynDrainTime() const;
+
   Simulator* sim_;
   Bandwidth line_rate_;
   TransportModel transport_;
@@ -89,6 +176,7 @@ class Link {
   Counter* obs_msgs_ = nullptr;
   Histogram* obs_queue_ns_ = nullptr;
   Gauge* obs_inflight_ = nullptr;
+  std::unique_ptr<DynState> dyn_;
 };
 
 // The two directions of one NIC.

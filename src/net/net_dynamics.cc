@@ -1,0 +1,50 @@
+#include "src/net/net_dynamics.h"
+
+namespace bsched {
+namespace {
+
+// FNV-1a + finalizer; independent of FaultPlan::HashSite so fault and rate
+// streams stay decorrelated even when both key on the same link name.
+uint64_t HashLinkName(const std::string& name) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : name) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  return h;
+}
+
+}  // namespace
+
+RateModel BuildLinkRateModel(const NetDynamicsConfig& config, const std::string& link_name,
+                             bool down) {
+  const uint64_t site = HashLinkName(link_name);
+  RateModel model;
+  if (config.volatility_amplitude > 0.0) {
+    model = RateModel::Compose(
+        model, RateModel::RandomWalk(config.seed ^ site ^ 0xd71f7a11ULL,
+                                     config.volatility_amplitude, config.volatility_period,
+                                     config.horizon));
+  }
+  if (config.cross_flows > 0) {
+    model = RateModel::Compose(
+        model, RateModel::CrossTraffic(config.seed ^ site ^ 0xc7055ee4ULL, config.cross_flows,
+                                       config.cross_load, config.cross_period, config.cross_duty,
+                                       config.horizon));
+  }
+  if (down && config.down_scale != 1.0) {
+    model = RateModel::Compose(model, RateModel::Constant(config.down_scale));
+  }
+  return model;
+}
+
+double CrossRackScale(const NetDynamicsConfig& config, int worker, int shard) {
+  if (!config.topology()) return 1.0;
+  const bool same_rack = (worker % config.racks) == (shard % config.racks);
+  return same_rack ? 1.0 : 1.0 / config.oversubscription;
+}
+
+}  // namespace bsched

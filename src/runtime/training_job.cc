@@ -106,6 +106,12 @@ class TrainingJob {
                    "chaos mode is unsupported with shared (co-scheduled) infrastructure");
       faults_ = std::make_unique<FaultInjector>(*config_.chaos, sim_, config_.trace);
     }
+    if (config_.dynamics.has_value() && config_.dynamics->enabled()) {
+      BSCHED_CHECK(config_.setup.arch == ArchType::kPs &&
+                   "the dynamic-network fabric is wired for the PS architecture");
+      BSCHED_CHECK(shared_.sim == nullptr && shared_.ps == nullptr &&
+                   "dynamic network is unsupported with shared (co-scheduled) infrastructure");
+    }
     if (shared_.ps != nullptr) {
       BSCHED_CHECK(config_.setup.arch == ArchType::kPs);
       BSCHED_CHECK(shared_.ps->config().num_workers == config_.num_machines);
@@ -201,6 +207,9 @@ class TrainingJob {
         }
         ps.obs = obs_;
         ps.coord = coord_.get();
+        if (config_.dynamics.has_value() && config_.dynamics->enabled()) {
+          ps.dynamics = &*config_.dynamics;
+        }
         owned_ps_ = std::make_unique<PsBackend>(sim_, ps);
         ps_ = owned_ps_.get();
       }
@@ -339,6 +348,18 @@ class TrainingJob {
       const Resource* gpu = gpus_[w].get();
       rec.SampleProbe(scope, "gpu.w" + ws + ".busy_ns",
                       [gpu] { return gpu->busy_time().nanos(); });
+      if (config_.dynamics.has_value() && config_.dynamics->enabled() && ps_ != nullptr) {
+        // Per-link effective-rate gauges: the schedule scale times the AIMD
+        // controller scale, read at tick time from the worker's own links.
+        // Registered only when dynamics is enabled, so disabled-mode CSVs
+        // stay byte-identical to pre-dynamics goldens.
+        const Link* up = &ps_->worker_uplink(w);
+        const Link* down = &ps_->worker_downlink(w);
+        rec.SampleProbe(scope, "net.worker" + ws + ".up.rate_bps",
+                        [up] { return static_cast<int64_t>(up->CurrentRateBps()); });
+        rec.SampleProbe(scope, "net.worker" + ws + ".down.rate_bps",
+                        [down] { return static_cast<int64_t>(down->CurrentRateBps()); });
+      }
     }
     rec.Start();
   }
@@ -779,6 +800,9 @@ class TrainingJob {
     result.samples_per_sec = samples_per_iter / result.avg_iter_time.ToSeconds();
     if (ps_ != nullptr) {
       result.shard_load_imbalance = ps_->ShardLoadImbalance();
+      result.rate_ctrl_decreases = ps_->rate_ctrl_decreases();
+      result.rate_ctrl_increases = ps_->rate_ctrl_increases();
+      result.link_repaces = ps_->link_repaces();
     }
     ExportMetrics(result);
     return result;
@@ -884,6 +908,8 @@ std::vector<JobResult> RunCoscheduledPsJobs(const std::vector<JobConfig>& jobs,
     BSCHED_CHECK(job.bandwidth == first.bandwidth);
     BSCHED_CHECK(job.ps_async == first.ps_async);
     BSCHED_CHECK(!job.chaos.has_value() && "chaos mode is unsupported for co-scheduled jobs");
+    BSCHED_CHECK((!job.dynamics.has_value() || !job.dynamics->enabled()) &&
+                 "dynamic network is unsupported for co-scheduled jobs");
     BSCHED_CHECK(job.shards == 0 && "sharded execution is unsupported for co-scheduled jobs");
   }
 

@@ -16,6 +16,7 @@
 #include "src/fault/fault_injector.h"
 #include "src/fault/fault_plan.h"
 #include "src/model/profile.h"
+#include "src/net/net_dynamics.h"
 #include "src/runtime/cluster.h"
 
 namespace bsched {
@@ -62,6 +63,16 @@ struct JobConfig {
   // without the fault fabric. Not supported for co-scheduled jobs sharing
   // infrastructure.
   std::optional<FaultPlanConfig> chaos;
+
+  // Dynamic-network fabric (PS architecture only): seeded random-walk
+  // bandwidth drift, on/off cross traffic, asymmetric up/down rates, an
+  // oversubscribed two-tier rack topology, and loss-driven AIMD rate control
+  // fed by the push ack timers (src/net/net_dynamics.h). Unset or disabled
+  // (the default config) leaves the legacy fixed-rate link path untouched —
+  // the simulation is event-for-event identical to a build without the
+  // dynamic fabric. Schedules derive from (seed, link name), so results stay
+  // bit-identical at any `shards` count. Not supported for co-scheduled jobs.
+  std::optional<NetDynamicsConfig> dynamics;
 
   // Sharded parallel-DES execution (PS architecture only): partition the
   // fabric across `shards` coordinator shards — worker w's entities (GPU,
@@ -123,6 +134,11 @@ struct JobResult {
   // SubCommTask attempts the Cores abandoned after exhausting retries; always
   // 0 for a job that ran to completion with the default abort-on-abandon.
   uint64_t subtasks_abandoned = 0;
+  // Dynamic-network activity (all zero unless JobConfig::dynamics enabled):
+  // AIMD backoffs/recoveries and in-flight transfers re-paced mid-message.
+  uint64_t rate_ctrl_decreases = 0;
+  uint64_t rate_ctrl_increases = 0;
+  uint64_t link_repaces = 0;
 };
 
 // Runs the configured job to completion and reports steady-state speed

@@ -7,6 +7,7 @@
 #include <deque>
 #include <functional>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <utility>
 #include <vector>
@@ -18,6 +19,7 @@
 #include "src/fault/fault_injector.h"
 #include "src/fault/fault_plan.h"
 #include "src/model/zoo.h"
+#include "src/net/net_dynamics.h"
 #include "src/obs/metrics.h"
 #include "src/obs/timeseries.h"
 #include "src/runtime/cluster.h"
@@ -737,6 +739,152 @@ TEST(ChaosShardBoundaryTest, TimeSeriesCsvIsByteIdenticalAcrossShardCounts) {
     EXPECT_NE(one.find(",w0,"), std::string::npos);
     EXPECT_EQ(one, series_csv(2));
   }
+}
+
+// ---- chaos on a dynamic-network fabric ------------------------------------
+//
+// The dynamic fabric (src/net/net_dynamics.h) adds volatile link schedules,
+// cross traffic and AIMD rate control on top of the same links the fault
+// fabric perturbs. Both derive every decision from (seed, site, time), so
+// stacking them must not cost any determinism: recovery counters, timings,
+// the metrics snapshot and the sampled time series stay byte-identical at
+// any shard count.
+
+NetDynamicsConfig VolatileFabric(uint64_t seed) {
+  NetDynamicsConfig dyn;
+  dyn.seed = seed;
+  dyn.volatility_amplitude = 0.5;
+  dyn.volatility_period = SimTime::Millis(2);
+  dyn.cross_flows = 2;
+  dyn.cross_load = 0.4;
+  dyn.down_scale = 0.8;
+  dyn.aimd.enable = true;
+  return dyn;
+}
+
+TEST(ChaosShardBoundaryTest, VolatileFabricRecoveryIsBitIdenticalAcrossShardCounts) {
+  struct Run {
+    JobResult result;
+    std::string metrics_json;
+    std::string series_csv;
+  };
+  for (const uint64_t seed : {uint64_t{1}, uint64_t{3}}) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    auto run = [seed](int shards) {
+      Run out;
+      MetricsRegistry metrics;
+      TimeSeriesRecorder recorder(&metrics, SimTime::Micros(200));
+      JobConfig job = ChaosJobConfig(Setup::MxnetPsRdma(), seed);
+      job.dynamics = VolatileFabric(seed);
+      job.shards = shards;
+      job.metrics = &metrics;
+      job.timeseries = &recorder;
+      out.result = RunTrainingJob(job);
+      std::ostringstream json;
+      metrics.Snapshot().WriteJson(json);
+      out.metrics_json = json.str();
+      out.series_csv = recorder.ToCsv();
+      return out;
+    };
+    const Run one = run(1);
+    ExpectRecovered(one.result);
+    ASSERT_FALSE(one.series_csv.empty());
+    // The dynamic fabric was actually live: the recorder sampled the
+    // per-link effective-rate gauges the new layer exports.
+    EXPECT_NE(one.series_csv.find(".up.rate_bps,"), std::string::npos);
+    for (const int shards : {2, 8}) {
+      SCOPED_TRACE("shards=" + std::to_string(shards));
+      const Run other = run(shards);
+      const JobResult& a = one.result;
+      const JobResult& b = other.result;
+      EXPECT_EQ(a.sim_events, b.sim_events);
+      EXPECT_EQ(a.avg_iter_time, b.avg_iter_time);
+      ASSERT_EQ(a.iter_end_times.size(), b.iter_end_times.size());
+      for (size_t i = 0; i < a.iter_end_times.size(); ++i) {
+        EXPECT_EQ(a.iter_end_times[i], b.iter_end_times[i]) << "iter " << i;
+      }
+      EXPECT_EQ(a.fault_stats.messages_seen, b.fault_stats.messages_seen);
+      EXPECT_EQ(a.fault_stats.drops_injected, b.fault_stats.drops_injected);
+      EXPECT_EQ(a.fault_stats.delays_injected, b.fault_stats.delays_injected);
+      EXPECT_EQ(a.fault_stats.delay_injected_total, b.fault_stats.delay_injected_total);
+      EXPECT_EQ(a.fault_stats.core_timeouts, b.fault_stats.core_timeouts);
+      EXPECT_EQ(a.fault_stats.core_retries, b.fault_stats.core_retries);
+      EXPECT_EQ(a.fault_stats.backend_retransmits, b.fault_stats.backend_retransmits);
+      EXPECT_EQ(a.fault_stats.credit_restored, b.fault_stats.credit_restored);
+      EXPECT_EQ(a.rate_ctrl_decreases, b.rate_ctrl_decreases);
+      EXPECT_EQ(a.rate_ctrl_increases, b.rate_ctrl_increases);
+      EXPECT_EQ(a.link_repaces, b.link_repaces);
+      EXPECT_EQ(one.metrics_json, other.metrics_json);
+      EXPECT_EQ(one.series_csv, other.series_csv);
+    }
+  }
+}
+
+// ---- fault / rate-model composition ---------------------------------------
+//
+// A link-down fault is "rate 0 for the outage window". FaultPlan implements
+// it as a delivery deferral (OutageDeferral) applied in Link::FinishSend —
+// one code path shared by the legacy fixed-rate links and the RateModel
+// links, so arming an identity-rate dynamic fabric must reproduce the
+// discrete-fault goldens event for event.
+
+FaultPlanConfig LinkDownOnlyPlan(uint64_t seed) {
+  FaultPlanConfig plan;
+  plan.seed = seed;
+  plan.horizon = SimTime::Millis(150);
+  plan.link_down_episodes = 4;
+  plan.link_down_len = SimTime::Millis(8);
+  return plan;
+}
+
+TEST(FaultDynamicsComposeTest, LinkDownGoldensSurviveIdentityRateModels) {
+  for (const uint64_t seed : {uint64_t{7}, uint64_t{11}}) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    JobConfig job = ChaosJobConfig(Setup::MxnetPsRdma(), seed);
+    job.chaos = LinkDownOnlyPlan(seed);
+    const JobResult golden = RunTrainingJob(job);
+
+    NetDynamicsConfig idle;  // identity schedules on every link
+    idle.force_enable = true;
+    job.dynamics = idle;
+    const JobResult composed = RunTrainingJob(job);
+
+    EXPECT_EQ(golden.sim_events, composed.sim_events);
+    EXPECT_EQ(golden.avg_iter_time, composed.avg_iter_time);
+    ASSERT_EQ(golden.iter_end_times.size(), composed.iter_end_times.size());
+    for (size_t i = 0; i < golden.iter_end_times.size(); ++i) {
+      EXPECT_EQ(golden.iter_end_times[i], composed.iter_end_times[i]) << "iter " << i;
+    }
+    EXPECT_EQ(golden.fault_stats.messages_seen, composed.fault_stats.messages_seen);
+    EXPECT_EQ(golden.fault_stats.delays_injected, composed.fault_stats.delays_injected);
+    EXPECT_EQ(golden.fault_stats.delay_injected_total,
+              composed.fault_stats.delay_injected_total);
+    EXPECT_EQ(golden.fault_stats.core_timeouts, composed.fault_stats.core_timeouts);
+    EXPECT_EQ(golden.fault_stats.core_retries, composed.fault_stats.core_retries);
+    EXPECT_EQ(golden.fault_stats.backend_retransmits,
+              composed.fault_stats.backend_retransmits);
+    EXPECT_EQ(golden.fault_stats.credit_restored, composed.fault_stats.credit_restored);
+    EXPECT_EQ(composed.link_repaces, 0u);  // identity models never re-pace
+  }
+}
+
+TEST(FaultDynamicsComposeTest, LinkDownRecoversOnAVolatileFabric) {
+  // Outage deferrals stack on top of volatile rate schedules: the run must
+  // still recover every deferred delivery, and a replay must be
+  // bit-identical — the composed plan is still a pure function of the seeds.
+  JobConfig job = ChaosJobConfig(Setup::MxnetPsRdma(), 5);
+  job.chaos = LinkDownOnlyPlan(5);
+  job.dynamics = VolatileFabric(5);
+  const JobResult a = RunTrainingJob(job);
+  const JobResult b = RunTrainingJob(job);
+  ExpectRecovered(a);
+  EXPECT_GT(a.fault_stats.delays_injected, 0u);
+  EXPECT_EQ(a.sim_events, b.sim_events);
+  EXPECT_EQ(a.avg_iter_time, b.avg_iter_time);
+  EXPECT_EQ(a.fault_stats.delay_injected_total, b.fault_stats.delay_injected_total);
+  EXPECT_EQ(a.rate_ctrl_decreases, b.rate_ctrl_decreases);
+  EXPECT_EQ(a.rate_ctrl_increases, b.rate_ctrl_increases);
+  EXPECT_EQ(a.link_repaces, b.link_repaces);
 }
 
 }  // namespace

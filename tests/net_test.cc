@@ -1,9 +1,24 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <tuple>
 #include <vector>
 
+#include "src/common/rng.h"
+#include "src/common/trace.h"
+#include "src/model/zoo.h"
 #include "src/net/link.h"
+#include "src/net/net_dynamics.h"
+#include "src/net/rate_controller.h"
+#include "src/net/rate_model.h"
 #include "src/net/transport.h"
+#include "src/obs/metrics.h"
+#include "src/obs/timeseries.h"
+#include "src/runtime/training_job.h"
 #include "src/sim/simulator.h"
 
 namespace bsched {
@@ -143,6 +158,376 @@ TEST(LinkTest, BusyAndQueueLength) {
   EXPECT_EQ(link.queue_length(), 1u);
   sim.Run();
   EXPECT_FALSE(link.busy());
+}
+
+// ---- RateModel schedules --------------------------------------------------
+
+TEST(RateModelTest, IdentityAndConstant) {
+  RateModel id;
+  EXPECT_TRUE(id.IsIdentity());
+  EXPECT_DOUBLE_EQ(id.ScaleAt(SimTime::Millis(5)), 1.0);
+  EXPECT_EQ(id.NextChangeAfter(SimTime()), SimTime::Max());
+  RateModel half = RateModel::Constant(0.5);
+  EXPECT_FALSE(half.IsIdentity());
+  EXPECT_DOUBLE_EQ(half.ScaleAt(SimTime()), 0.5);
+  EXPECT_EQ(half.NextChangeAfter(SimTime()), SimTime::Max());
+}
+
+TEST(RateModelTest, PiecewiseLookupAndBreakpoints) {
+  RateModel m = RateModel::Piecewise(
+      {{SimTime::Millis(1), 0.5}, {SimTime::Millis(3), 0.0}, {SimTime::Millis(4), 1.0}});
+  // A leading identity segment is synthesized before the first step.
+  EXPECT_DOUBLE_EQ(m.ScaleAt(SimTime()), 1.0);
+  EXPECT_DOUBLE_EQ(m.ScaleAt(SimTime::Millis(1)), 0.5);
+  EXPECT_DOUBLE_EQ(m.ScaleAt(SimTime::Millis(2)), 0.5);
+  EXPECT_DOUBLE_EQ(m.ScaleAt(SimTime::Millis(3)), 0.0);
+  EXPECT_DOUBLE_EQ(m.ScaleAt(SimTime::Millis(10)), 1.0);
+  EXPECT_EQ(m.NextChangeAfter(SimTime()), SimTime::Millis(1));
+  EXPECT_EQ(m.NextChangeAfter(SimTime::Millis(1)), SimTime::Millis(3));
+  EXPECT_EQ(m.NextChangeAfter(SimTime::Millis(4)), SimTime::Max());
+}
+
+TEST(RateModelTest, BuildersAreDeterministicAndBounded) {
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    const RateModel walk =
+        RateModel::RandomWalk(seed, 0.6, SimTime::Micros(500), SimTime::Millis(40));
+    const RateModel walk2 =
+        RateModel::RandomWalk(seed, 0.6, SimTime::Micros(500), SimTime::Millis(40));
+    ASSERT_EQ(walk.steps().size(), walk2.steps().size());
+    for (size_t i = 0; i < walk.steps().size(); ++i) {
+      EXPECT_EQ(walk.steps()[i].start, walk2.steps()[i].start);
+      EXPECT_DOUBLE_EQ(walk.steps()[i].scale, walk2.steps()[i].scale);
+      EXPECT_GE(walk.steps()[i].scale, 0.4);
+      EXPECT_LE(walk.steps()[i].scale, 1.0);
+    }
+    const RateModel cross = RateModel::CrossTraffic(seed, 3, 0.4, SimTime::Millis(2), 0.5,
+                                                    SimTime::Millis(40));
+    EXPECT_GT(cross.steps().size(), 1u);
+    for (const RateStep& s : cross.steps()) {
+      EXPECT_GE(s.scale, RateModel::kMinScale);
+      EXPECT_LE(s.scale, 1.0);
+    }
+  }
+  // Different seeds wander differently.
+  const RateModel a = RateModel::RandomWalk(1, 0.6, SimTime::Micros(500), SimTime::Millis(40));
+  const RateModel b = RateModel::RandomWalk(2, 0.6, SimTime::Micros(500), SimTime::Millis(40));
+  bool differs = false;
+  for (int t = 0; t < 40 && !differs; ++t) {
+    differs = a.ScaleAt(SimTime::Millis(t)) != b.ScaleAt(SimTime::Millis(t));
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(RateModelTest, ComposeIsPointwiseProduct) {
+  const RateModel a =
+      RateModel::Piecewise({{SimTime(), 0.8}, {SimTime::Millis(2), 0.5}});
+  const RateModel b =
+      RateModel::Piecewise({{SimTime::Millis(1), 0.5}, {SimTime::Millis(3), 1.0}});
+  const RateModel c = RateModel::Compose(a, b);
+  for (int64_t us = 0; us <= 4000; us += 137) {
+    const SimTime t = SimTime::Micros(us);
+    EXPECT_DOUBLE_EQ(c.ScaleAt(t), a.ScaleAt(t) * b.ScaleAt(t)) << us;
+  }
+  EXPECT_TRUE(RateModel::Compose(RateModel(), RateModel()).IsIdentity());
+}
+
+TEST(NetDynamicsTest, LinkModelsAreDeterministicPerName) {
+  NetDynamicsConfig dyn;
+  dyn.seed = 7;
+  dyn.volatility_amplitude = 0.5;
+  dyn.cross_flows = 2;
+  const RateModel a = BuildLinkRateModel(dyn, "worker0.up", false);
+  const RateModel a2 = BuildLinkRateModel(dyn, "worker0.up", false);
+  ASSERT_EQ(a.steps().size(), a2.steps().size());
+  for (size_t i = 0; i < a.steps().size(); ++i) {
+    EXPECT_EQ(a.steps()[i].start, a2.steps()[i].start);
+    EXPECT_DOUBLE_EQ(a.steps()[i].scale, a2.steps()[i].scale);
+  }
+  // Distinct links get decorrelated schedules.
+  const RateModel b = BuildLinkRateModel(dyn, "worker1.up", false);
+  bool differs = false;
+  for (int t = 0; t < 40 && !differs; ++t) {
+    differs = a.ScaleAt(SimTime::Millis(t)) != b.ScaleAt(SimTime::Millis(t));
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(NetDynamicsTest, CrossRackScaleDeratesSpineTransfers) {
+  NetDynamicsConfig dyn;
+  dyn.racks = 2;
+  dyn.oversubscription = 4.0;
+  EXPECT_DOUBLE_EQ(CrossRackScale(dyn, 0, 0), 1.0);   // same rack
+  EXPECT_DOUBLE_EQ(CrossRackScale(dyn, 0, 2), 1.0);   // same rack (2 % 2 == 0)
+  EXPECT_DOUBLE_EQ(CrossRackScale(dyn, 0, 1), 0.25);  // across the spine
+  dyn.racks = 1;
+  EXPECT_DOUBLE_EQ(CrossRackScale(dyn, 0, 1), 1.0);
+}
+
+// ---- dynamic-path trajectory oracle ---------------------------------------
+
+// Independent closed-form oracle: integrates the rate trajectory segment by
+// segment and inverts the integral at nanosecond resolution (the same
+// resolution the simulator clocks at). Deliberately coded with a different
+// multiplication order than the Link, so agreement within 1 ulp of sim-time
+// is a property check, not a tautology.
+int64_t OracleFinishNs(const RateModel& model, const TransportModel& t, double line_bps,
+                       double msg_scale, Bytes size, SimTime start) {
+  double remaining = static_cast<double>(size);
+  SimTime at = start + t.serial_overhead;
+  for (;;) {
+    const double rate =
+        std::min(model.ScaleAt(at) * msg_scale * t.efficiency * line_bps,
+                 t.goodput_cap.bytes_per_sec());
+    const SimTime next = model.NextChangeAfter(at);
+    if (rate <= 0.0) {
+      EXPECT_LT(next, SimTime::Max()) << "stalled on a terminal zero-rate segment";
+      at = next;
+      continue;
+    }
+    const SimTime fin = at + SimTime(static_cast<int64_t>(std::llround(remaining / rate * 1e9)));
+    if (next == SimTime::Max() || fin <= next) {
+      return fin.nanos();
+    }
+    remaining -= rate * (next - at).ToSeconds();
+    remaining = std::max(remaining, 0.0);
+    at = next;
+  }
+}
+
+TEST(RateModelOracleTest, CompletionMatchesScheduleIntegralAcrossSeeds) {
+  for (uint64_t seed = 1; seed <= 40; ++seed) {
+    Rng rng(seed * 0x9e3779b97f4a7c15ULL + 11);
+    TransportModel t = TransportModel::Ideal();
+    t.serial_overhead = SimTime(rng.UniformInt(0, 100'000));
+    t.latency = SimTime(rng.UniformInt(0, 50'000));
+    t.efficiency = rng.Uniform(0.7, 1.0);
+    if (rng.NextDouble() < 0.3) {
+      t.goodput_cap = Bandwidth::Gbps(rng.Uniform(1.0, 20.0));
+    }
+    const Bandwidth line = Bandwidth::Gbps(rng.Uniform(1.0, 100.0));
+    RateModel model = RateModel::RandomWalk(seed, rng.Uniform(0.2, 0.9),
+                                            SimTime(rng.UniformInt(20'000, 400'000)),
+                                            SimTime::Millis(50));
+    if (rng.NextDouble() < 0.5) {
+      model = RateModel::Compose(
+          model, RateModel::CrossTraffic(seed ^ 0xabcdULL, 2, rng.Uniform(0.2, 0.6),
+                                         SimTime(rng.UniformInt(50'000, 500'000)), 0.5,
+                                         SimTime::Millis(50)));
+    }
+    Simulator sim;
+    Link link(&sim, "fuzz", line, t);
+    link.SetRateModel(model);
+    constexpr int kMsgs = 6;
+    std::vector<Bytes> sizes;
+    std::vector<double> scales;
+    std::vector<int64_t> flushes;
+    for (int i = 0; i < kMsgs; ++i) {
+      sizes.push_back(rng.UniformInt(1'000, 4'000'000));
+      scales.push_back(rng.NextDouble() < 0.3 ? 0.25 : 1.0);
+      link.SendCrossShard(sizes[i], scales[i],
+                          [&flushes, &sim] { flushes.push_back(sim.Now().nanos()); }, nullptr);
+    }
+    sim.Run();
+    ASSERT_EQ(flushes.size(), static_cast<size_t>(kMsgs));
+    int64_t start = 0;
+    for (int i = 0; i < kMsgs; ++i) {
+      const int64_t oracle =
+          OracleFinishNs(model, t, line.bytes_per_sec(), scales[i], sizes[i], SimTime(start));
+      EXPECT_LE(std::llabs(flushes[i] - oracle), 1)
+          << "seed " << seed << " msg " << i << " flush " << flushes[i] << " oracle " << oracle;
+      start = flushes[i];  // FIFO: the next transfer starts at this flush
+    }
+  }
+}
+
+TEST(DynamicLinkTest, ZeroRateWindowStallsAndResumes) {
+  // 1 GB/s ideal link; the schedule cuts the rate to zero for [2ms, 5ms).
+  // A 4 MB transfer serializes 2 MB, stalls 3 ms, and finishes at 7 ms.
+  Simulator sim;
+  Link link(&sim, "l", Bandwidth::Gbps(8), TransportModel::Ideal());
+  link.SetRateModel(RateModel::Piecewise(
+      {{SimTime(), 1.0}, {SimTime::Millis(2), 0.0}, {SimTime::Millis(5), 1.0}}));
+  SimTime flushed;
+  link.SendWithFlush(4'000'000, [&] { flushed = sim.Now(); }, nullptr);
+  sim.Run();
+  EXPECT_EQ(flushed, SimTime::Millis(7));
+}
+
+TEST(DynamicLinkTest, CtrlScaleRepacesInFlightTransfer) {
+  // 1 GB/s identity schedule, 8 MB transfer (nominal 8 ms). Halving the rate
+  // at 2 ms re-paces the remaining 6 MB to 12 ms (completion 14 ms); restoring
+  // it at 5 ms leaves 4.5 MB at full rate -> completion at 9.5 ms.
+  Simulator sim;
+  Link link(&sim, "l", Bandwidth::Gbps(8), TransportModel::Ideal());
+  link.SetRateModel(RateModel());
+  SimTime flushed;
+  link.SendWithFlush(8'000'000, [&] { flushed = sim.Now(); }, nullptr);
+  sim.Schedule(SimTime::Millis(2), [&] { link.SetCtrlScale(0.5); });
+  sim.Schedule(SimTime::Millis(5), [&] { link.SetCtrlScale(1.0); });
+  sim.Run();
+  EXPECT_EQ(flushed, SimTime::Micros(9500));
+  EXPECT_EQ(link.repace_events(), 2u);
+  EXPECT_DOUBLE_EQ(link.ctrl_scale(), 1.0);
+}
+
+TEST(DynamicLinkTest, IdentityModelReproducesLegacyTimings) {
+  // The dynamic path with an identity schedule must land every flush on the
+  // exact nanosecond the legacy Resource path produces.
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    Rng rng(seed ^ 0x51c6e1ULL);
+    TransportModel t = seed % 2 == 0 ? TransportModel::Tcp() : TransportModel::Rdma();
+    const Bandwidth line = Bandwidth::Gbps(rng.Uniform(1.0, 100.0));
+    std::vector<Bytes> sizes;
+    for (int i = 0; i < 8; ++i) {
+      sizes.push_back(rng.UniformInt(1'000, 8'000'000));
+    }
+    auto run = [&](bool dynamic) {
+      Simulator sim;
+      Link link(&sim, "l", line, t);
+      if (dynamic) {
+        link.SetRateModel(RateModel());
+      }
+      std::vector<int64_t> flushes;
+      for (Bytes size : sizes) {
+        link.SendWithFlush(size, [&] { flushes.push_back(sim.Now().nanos()); }, nullptr);
+      }
+      sim.Run();
+      return flushes;
+    };
+    EXPECT_EQ(run(false), run(true)) << "seed " << seed;
+  }
+}
+
+TEST(RateControllerTest, AimdBacksOffAndRecovers) {
+  Simulator sim;
+  Link link(&sim, "l", Bandwidth::Gbps(8), TransportModel::Ideal());
+  link.SetRateModel(RateModel());
+  AimdConfig cfg;
+  cfg.enable = true;
+  cfg.additive_increase = 0.25;
+  cfg.multiplicative_decrease = 0.5;
+  cfg.min_scale = 0.2;
+  RateController ctrl(&link, cfg);
+  ctrl.OnLoss();
+  EXPECT_DOUBLE_EQ(ctrl.scale(), 0.5);
+  ctrl.OnLoss();
+  ctrl.OnLoss();
+  EXPECT_DOUBLE_EQ(ctrl.scale(), 0.2);  // floored at min_scale
+  EXPECT_EQ(ctrl.decreases(), 3u);
+  for (int i = 0; i < 10; ++i) {
+    ctrl.OnAck();
+  }
+  EXPECT_DOUBLE_EQ(ctrl.scale(), 1.0);  // capped at full rate
+  EXPECT_DOUBLE_EQ(link.ctrl_scale(), 1.0);
+  EXPECT_EQ(ctrl.increases(), 4u);  // 0.2 -> 0.45 -> 0.7 -> 0.95 -> 1.0
+}
+
+// ---- zero-cost regression (dynamics disabled / enabled-but-idle) ----------
+
+JobConfig DynJobConfig() {
+  JobConfig job;
+  job.model = Vgg16();
+  job.setup = Setup::MxnetPsRdma();
+  job.mode = SchedMode::kByteScheduler;
+  job.num_machines = 2;
+  job.bandwidth = Bandwidth::Gbps(100);
+  job.warmup_iters = 1;
+  job.measure_iters = 2;
+  const TunedParams tuned =
+      DefaultTunedParams(job.model, job.setup.arch, job.setup.transport, job.bandwidth);
+  job.partition_bytes = tuned.partition_bytes;
+  job.credit_bytes = tuned.credit_bytes;
+  return job;
+}
+
+struct ObsArtifacts {
+  uint64_t sim_events = 0;
+  std::vector<SimTime> iter_end_times;
+  std::string metrics_json;
+  std::string timeseries_csv;
+  std::string trace_json;
+};
+
+ObsArtifacts RunWithArtifacts(const std::optional<NetDynamicsConfig>& dynamics) {
+  JobConfig job = DynJobConfig();
+  job.dynamics = dynamics;
+  MetricsRegistry metrics;
+  TimeSeriesRecorder recorder(&metrics, SimTime::Micros(200));
+  TraceRecorder trace;
+  job.metrics = &metrics;
+  job.timeseries = &recorder;
+  job.trace = &trace;
+  const JobResult result = RunTrainingJob(job);
+  ObsArtifacts out;
+  out.sim_events = result.sim_events;
+  out.iter_end_times = result.iter_end_times;
+  std::ostringstream mj;
+  metrics.Snapshot().WriteJson(mj);
+  out.metrics_json = mj.str();
+  out.timeseries_csv = recorder.ToCsv();
+  std::ostringstream tj;
+  trace.WriteChromeTrace(tj);
+  out.trace_json = tj.str();
+  return out;
+}
+
+TEST(NetDynZeroCostTest, DisabledConfigMatchesUnsetByteForByte) {
+  // A present-but-disabled dynamics config must leave every observable
+  // artifact byte-identical to a run without the field: event counts,
+  // iteration timings, metrics snapshot, time-series CSV, and trace JSON
+  // (the "pre-change golden" — the unset path is the legacy event sequence).
+  const ObsArtifacts unset = RunWithArtifacts(std::nullopt);
+  const ObsArtifacts disabled = RunWithArtifacts(NetDynamicsConfig{});
+  EXPECT_EQ(unset.sim_events, disabled.sim_events);
+  EXPECT_EQ(unset.iter_end_times, disabled.iter_end_times);
+  EXPECT_EQ(unset.metrics_json, disabled.metrics_json);
+  EXPECT_EQ(unset.timeseries_csv, disabled.timeseries_csv);
+  EXPECT_EQ(unset.trace_json, disabled.trace_json);
+}
+
+TEST(NetDynZeroCostTest, EnabledButIdleModelsMatchDisabledTimings) {
+  // force_enable installs identity rate models on every link: the dynamic
+  // transmission path runs for real, but flat schedules must reproduce the
+  // legacy timings exactly (same llround arithmetic), so everything except
+  // the extra rate_bps time-series rows is byte-identical.
+  const ObsArtifacts unset = RunWithArtifacts(std::nullopt);
+  NetDynamicsConfig idle;
+  idle.force_enable = true;
+  const ObsArtifacts enabled = RunWithArtifacts(idle);
+  EXPECT_EQ(unset.sim_events, enabled.sim_events);
+  EXPECT_EQ(unset.iter_end_times, enabled.iter_end_times);
+  EXPECT_EQ(unset.metrics_json, enabled.metrics_json);
+  EXPECT_EQ(unset.trace_json, enabled.trace_json);
+  // The CSV gains net.worker<w>.{up,down}.rate_bps probe rows and nothing
+  // else: stripping them must recover the disabled-mode CSV byte-for-byte.
+  std::istringstream in(enabled.timeseries_csv);
+  std::ostringstream stripped;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.find(".rate_bps,") == std::string::npos) {
+      stripped << line << '\n';
+    }
+  }
+  EXPECT_EQ(stripped.str(), unset.timeseries_csv);
+  EXPECT_NE(enabled.timeseries_csv, unset.timeseries_csv);
+}
+
+TEST(NetDynEndToEndTest, VolatileFabricRunsAndReportsRateActivity) {
+  JobConfig job = DynJobConfig();
+  NetDynamicsConfig dyn;
+  dyn.seed = 5;
+  dyn.volatility_amplitude = 0.5;
+  dyn.cross_flows = 2;
+  dyn.down_scale = 0.8;
+  dyn.racks = 2;
+  dyn.oversubscription = 2.0;
+  job.dynamics = dyn;
+  const JobResult volatile_run = RunTrainingJob(job);
+  EXPECT_GT(volatile_run.samples_per_sec, 0.0);
+  // Volatility slows training relative to the static fabric.
+  JobConfig base = DynJobConfig();
+  const JobResult static_run = RunTrainingJob(base);
+  EXPECT_LT(volatile_run.samples_per_sec, static_run.samples_per_sec);
 }
 
 }  // namespace
